@@ -1,0 +1,293 @@
+package fx10_test
+
+import (
+	"fmt"
+	"testing"
+
+	"fx10/internal/constraints"
+	"fx10/internal/experiments"
+	"fx10/internal/explore"
+	"fx10/internal/fixtures"
+	"fx10/internal/intset"
+	"fx10/internal/labels"
+	"fx10/internal/machine"
+	"fx10/internal/mhp"
+	"fx10/internal/parser"
+	"fx10/internal/runtime"
+	"fx10/internal/syntax"
+	"fx10/internal/types"
+	"fx10/internal/workloads"
+	"fx10/internal/x10"
+)
+
+// ---------------------------------------------------------------
+// Worked examples (Sections 2.1, 2.2; Figure 5).
+
+// BenchmarkExample1Inference measures end-to-end inference on the
+// Section 2.1 example whose constraint system is the paper's
+// Figure 5.
+func BenchmarkExample1Inference(b *testing.B) {
+	p := fixtures.Example21()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		mhp.Analyze(p, constraints.ContextSensitive)
+	}
+}
+
+// BenchmarkExample2Inference measures the Section 2.2 interprocedural
+// example.
+func BenchmarkExample2Inference(b *testing.B) {
+	p := fixtures.Example22()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		mhp.Analyze(p, constraints.ContextSensitive)
+	}
+}
+
+// ---------------------------------------------------------------
+// Figure 6: constraint generation per benchmark.
+
+// BenchmarkConstraintGenFig6 measures Slabels fixpoint plus
+// constraint generation (the static-measurement pipeline of
+// Figure 6) for every benchmark.
+func BenchmarkConstraintGenFig6(b *testing.B) {
+	for _, wl := range workloads.All() {
+		p := wl.Program()
+		b.Run(wl.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				in := labels.Compute(p)
+				sys := constraints.Generate(in, constraints.ContextSensitive)
+				sl, l1, l2 := sys.Counts()
+				if sl == 0 || l1 == 0 || l2 == 0 {
+					b.Fatal("empty system")
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------
+// Figure 7: front-end node counting per benchmark.
+
+// BenchmarkNodeCountsFig7 measures X10-subset parsing and condensed
+// node counting (the Figure 7 pipeline).
+func BenchmarkNodeCountsFig7(b *testing.B) {
+	for _, wl := range workloads.All() {
+		src := wl.Source()
+		b.Run(wl.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				unit, _, err := x10.Parse(src)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if unit.NodeCounts().Total == 0 {
+					b.Fatal("no nodes")
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------
+// Figure 8: full context-sensitive inference per benchmark.
+
+// BenchmarkInferenceFig8 measures the full inference pipeline
+// (Slabels + generation + three-phase solving + pair
+// classification), one sub-benchmark per Figure 8 row.
+func BenchmarkInferenceFig8(b *testing.B) {
+	for _, wl := range workloads.All() {
+		p := wl.Program()
+		want := wl.Paper
+		b.Run(wl.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r := mhp.Analyze(p, constraints.ContextSensitive)
+				c := mhp.CountPairs(r.AsyncBodyPairs())
+				if c.Total == 0 && want.PairsTotal != 0 {
+					b.Fatal("no pairs")
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------
+// Figure 9: context-sensitive vs context-insensitive on mg and
+// plasma.
+
+// BenchmarkContextInsensitiveFig9 measures both analyses on the two
+// large benchmarks, the Figure 9 comparison.
+func BenchmarkContextInsensitiveFig9(b *testing.B) {
+	for _, name := range []string{"mg", "plasma"} {
+		wl, err := workloads.Get(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p := wl.Program()
+		for _, mode := range []constraints.Mode{constraints.ContextSensitive, constraints.ContextInsensitive} {
+			mode := mode
+			b.Run(fmt.Sprintf("%s/%s", name, mode), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					mhp.Analyze(p, mode)
+				}
+			})
+		}
+	}
+}
+
+// ---------------------------------------------------------------
+// Ablations called out in DESIGN.md.
+
+// BenchmarkSolverPhased vs BenchmarkSolverMonolithic: the Section 5.3
+// three-phase optimization against solving everything jointly.
+func BenchmarkSolverPhased(b *testing.B) {
+	benchSolver(b, constraints.Options{})
+}
+
+// BenchmarkSolverMonolithic is the ablation baseline for
+// BenchmarkSolverPhased.
+func BenchmarkSolverMonolithic(b *testing.B) {
+	benchSolver(b, constraints.Options{Monolithic: true})
+}
+
+func benchSolver(b *testing.B, opts constraints.Options) {
+	wl, err := workloads.Get("mg")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys := constraints.Generate(labels.Compute(wl.Program()), constraints.ContextSensitive)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Solve(opts)
+	}
+}
+
+// BenchmarkDirectTypeInference: inferring E by iterating the type
+// rules directly (the specification) instead of solving constraints
+// (the implementation technique) — the paper's "slogan" trade-off.
+func BenchmarkDirectTypeInference(b *testing.B) {
+	wl, err := workloads.Get("mg")
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := labels.Compute(wl.Program())
+	c := types.NewChecker(in)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Infer()
+	}
+}
+
+// BenchmarkSlabelsFixpoint isolates phase 1 of the solver.
+func BenchmarkSlabelsFixpoint(b *testing.B) {
+	wl, err := workloads.Get("plasma")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := wl.Program()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		labels.Compute(p)
+	}
+}
+
+// ---------------------------------------------------------------
+// Substrate micro-benchmarks.
+
+// BenchmarkMachineRun measures the formal small-step interpreter on
+// the Section 2.1 example.
+func BenchmarkMachineRun(b *testing.B) {
+	p := fixtures.Example21()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := machine.Run(p, machine.Initial(p, nil), machine.Leftmost{}, 100000)
+		if !res.Done {
+			b.Fatal("did not finish")
+		}
+	}
+}
+
+// BenchmarkExploreExample21 measures exhaustive interleaving
+// exploration (the ground-truth oracle of Section 6).
+func BenchmarkExploreExample21(b *testing.B) {
+	p := fixtures.Example21()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := explore.MHP(p, nil, 1_000_000)
+		if !res.Complete {
+			b.Fatal("incomplete")
+		}
+	}
+}
+
+// BenchmarkRuntimeFanout measures the goroutine runtime on a fork-
+// join fan-out.
+func BenchmarkRuntimeFanout(b *testing.B) {
+	p := parser.MustParse(`
+array 8;
+void w0() { async { a[0] = 1; } }
+void w1() { async { a[1] = 1; } }
+void w2() { async { a[2] = 1; } }
+void w3() { async { a[3] = 1; } }
+void main() {
+  finish { w0(); w1(); w2(); w3(); }
+}
+`)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := runtime.Run(p, nil, runtime.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPairSetCrossSym measures the symcross kernel that
+// dominates level-2 solving.
+func BenchmarkPairSetCrossSym(b *testing.B) {
+	const n = 2048
+	a := intset.New(n)
+	c := intset.New(n)
+	for i := 0; i < n; i += 3 {
+		a.Add(i)
+	}
+	for i := 1; i < n; i += 5 {
+		c.Add(i)
+	}
+	ps := intset.NewPairs(n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ps.CrossSym(a, c)
+	}
+}
+
+// BenchmarkSolverWorklist is the third solving strategy: phased with
+// change-driven re-evaluation instead of whole passes.
+func BenchmarkSolverWorklist(b *testing.B) {
+	benchSolver(b, constraints.Options{Worklist: true})
+}
+
+// BenchmarkScaling measures the full pipeline on the three
+// size-parameterized families of the scaling study at a fixed size.
+func BenchmarkScaling(b *testing.B) {
+	progs := map[string]*syntax.Program{
+		"chain200": experiments.ChainProgram(200),
+		"wide200":  experiments.WideProgram(200),
+		"loops200": experiments.LoopsProgram(200),
+	}
+	for _, name := range []string{"chain200", "wide200", "loops200"} {
+		p := progs[name]
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				in := labels.Compute(p)
+				constraints.Generate(in, constraints.ContextSensitive).Solve(constraints.Options{})
+			}
+		})
+	}
+}

@@ -1,0 +1,350 @@
+// Command fx10 is the Featherweight X10 toolchain driver: it runs,
+// analyzes and explores FX10 programs.
+//
+// Usage:
+//
+//	fx10 run        [-sched S] [-seed N] [-steps N] [-a CSV] [-trace] FILE
+//	fx10 exec       [-procs N] [-a CSV] FILE
+//	fx10 mhp        [-mode M] [-pairs] [-races] [-places] FILE
+//	fx10 constraints [-mode M] FILE
+//	fx10 explore    [-max N] [-a CSV] FILE
+//	fx10 print      FILE
+//	fx10 check      FILE
+//
+// run steps the formal small-step semantics (internal/machine); exec
+// executes with real goroutines (internal/runtime); mhp runs the
+// may-happen-in-parallel analysis; constraints prints the generated
+// constraint system (Figure 5 style); explore computes the exact MHP
+// relation by exhaustive interleaving search; print pretty-prints;
+// check parses and validates.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"fx10/internal/clocks"
+	"fx10/internal/constraints"
+	"fx10/internal/explore"
+	"fx10/internal/labels"
+	"fx10/internal/machine"
+	"fx10/internal/mhp"
+	"fx10/internal/parser"
+	"fx10/internal/places"
+	"fx10/internal/runtime"
+	"fx10/internal/syntax"
+	"fx10/internal/tree"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "fx10:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: fx10 <run|exec|clocked|mhp|constraints|explore|print|check> [flags] FILE")
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "run":
+		return cmdRun(rest)
+	case "exec":
+		return cmdExec(rest)
+	case "mhp":
+		return cmdMHP(rest)
+	case "clocked":
+		return cmdClocked(rest)
+	case "constraints":
+		return cmdConstraints(rest)
+	case "explore":
+		return cmdExplore(rest)
+	case "print":
+		return cmdPrint(rest)
+	case "check":
+		return cmdCheck(rest)
+	}
+	return fmt.Errorf("unknown subcommand %q", cmd)
+}
+
+// loadProgram parses the positional FILE argument of a flag set.
+func loadProgram(fs *flag.FlagSet) (*syntax.Program, error) {
+	if fs.NArg() != 1 {
+		return nil, fmt.Errorf("expected exactly one input file")
+	}
+	data, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return nil, err
+	}
+	return parser.Parse(string(data))
+}
+
+// parseArray parses "1,2,3" into an initial array prefix.
+func parseArray(csv string) ([]int64, error) {
+	if csv == "" {
+		return nil, nil
+	}
+	var out []int64
+	for _, part := range strings.Split(csv, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad array value %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	sched := fs.String("sched", "leftmost", "scheduler: leftmost or random")
+	seed := fs.Int64("seed", 0, "random scheduler seed")
+	steps := fs.Int("steps", 1_000_000, "maximum steps")
+	a0 := fs.String("a", "", "initial array prefix, e.g. 1,0,2")
+	trace := fs.Bool("trace", false, "print every intermediate tree")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := loadProgram(fs)
+	if err != nil {
+		return err
+	}
+	arr, err := parseArray(*a0)
+	if err != nil {
+		return err
+	}
+	var s machine.Scheduler = machine.Leftmost{}
+	switch *sched {
+	case "leftmost":
+	case "random":
+		s = machine.NewRandom(*seed)
+	default:
+		return fmt.Errorf("unknown scheduler %q", *sched)
+	}
+	st := machine.Initial(p, arr)
+	if *trace {
+		states := machine.Trace(p, st, s, *steps)
+		for i, cur := range states {
+			fmt.Printf("%4d  %s  a=%v\n", i, tree.String(p, cur.T), cur.A)
+		}
+		last := states[len(states)-1]
+		fmt.Printf("done=%v steps=%d result a[0]=%d\n", last.T.Done(), len(states)-1, last.A[0])
+		return nil
+	}
+	res := machine.Run(p, st, s, *steps)
+	fmt.Printf("done=%v steps=%d a=%v result a[0]=%d\n", res.Done, res.Steps, res.Final.A, res.Final.A[0])
+	if !res.Done {
+		return fmt.Errorf("step budget exhausted (program may diverge; raise -steps)")
+	}
+	return nil
+}
+
+func cmdExec(args []string) error {
+	fs := flag.NewFlagSet("exec", flag.ContinueOnError)
+	procs := fs.Int("procs", 0, "max concurrent async goroutines (0 = unbounded)")
+	maxSteps := fs.Int64("steps", runtime.DefaultMaxSteps, "instruction budget")
+	a0 := fs.String("a", "", "initial array prefix")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := loadProgram(fs)
+	if err != nil {
+		return err
+	}
+	arr, err := parseArray(*a0)
+	if err != nil {
+		return err
+	}
+	res, err := runtime.Run(p, arr, runtime.Options{MaxGoroutines: *procs, MaxSteps: *maxSteps})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("a=%v result a[0]=%d steps=%d goroutines=%d inlined=%d maxlive=%d\n",
+		res.Array, res.Array[0], res.Steps, res.Spawned, res.Inlined, res.MaxLive)
+	return nil
+}
+
+func cmdClocked(args []string) error {
+	fs := flag.NewFlagSet("clocked", flag.ContinueOnError)
+	seed := fs.Int64("seed", 0, "scheduling seed")
+	steps := fs.Int("steps", 1_000_000, "step budget")
+	a0 := fs.String("a", "", "initial array prefix")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := loadProgram(fs)
+	if err != nil {
+		return err
+	}
+	arr, err := parseArray(*a0)
+	if err != nil {
+		return err
+	}
+	res, err := clocks.Run(p, arr, *seed, *steps)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("a=%v result a[0]=%d steps=%d phases=%d\n",
+		res.Array, res.Array[0], res.Steps, res.Phases)
+	return nil
+}
+
+func parseMode(s string) (constraints.Mode, error) {
+	switch s {
+	case "cs", "sensitive", "context-sensitive":
+		return constraints.ContextSensitive, nil
+	case "ci", "insensitive", "context-insensitive":
+		return constraints.ContextInsensitive, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q (want cs or ci)", s)
+}
+
+func cmdMHP(args []string) error {
+	fs := flag.NewFlagSet("mhp", flag.ContinueOnError)
+	mode := fs.String("mode", "cs", "analysis mode: cs (context-sensitive) or ci")
+	showPairs := fs.Bool("pairs", true, "print the MHP label pairs")
+	showRaces := fs.Bool("races", false, "print race candidates")
+	withPlaces := fs.Bool("places", false, "apply the same-place refinement (Section 8 extension)")
+	withClocks := fs.Bool("clocks", false, "apply the clock-phase refinement (Section 8 extension)")
+	asJSON := fs.Bool("json", false, "emit a machine-readable JSON report (ignores the other output flags)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	m, err := parseMode(*mode)
+	if err != nil {
+		return err
+	}
+	p, err := loadProgram(fs)
+	if err != nil {
+		return err
+	}
+	r := mhp.Analyze(p, m)
+	if *asJSON {
+		return r.WriteJSON(os.Stdout)
+	}
+	set := r.M
+	if *withPlaces {
+		set = places.Compute(p).Refine(set)
+	}
+	if *withClocks {
+		set = clocks.ComputePhases(p).Refine(set)
+	}
+
+	if *showPairs {
+		var pairs []string
+		set.Each(func(i, j int) {
+			if i <= j {
+				pairs = append(pairs, fmt.Sprintf("(%s, %s)", p.LabelName(syntax.Label(i)), p.LabelName(syntax.Label(j))))
+			}
+		})
+		sort.Strings(pairs)
+		fmt.Printf("%s MHP pairs: %d\n", m, len(pairs))
+		for _, pr := range pairs {
+			fmt.Println(" ", pr)
+		}
+	}
+
+	counts := mhp.CountPairs(r.AsyncBodyPairs())
+	fmt.Printf("async-body pairs: total=%d self=%d same=%d diff=%d\n",
+		counts.Total, counts.Self, counts.Same, counts.Diff)
+	fmt.Printf("iterations: Slabels=%d level1=%d level2=%d\n",
+		r.Sol.IterSlabels, r.Sol.IterL1, r.Sol.IterL2)
+
+	if *showRaces {
+		races := r.RaceCandidates()
+		fmt.Printf("race candidates: %d\n", len(races))
+		for _, rc := range races {
+			kind := "write/read"
+			if rc.WriteWrite {
+				kind = "write/write"
+			}
+			fmt.Printf("  a[%d]: %s vs %s (%s)\n", rc.Index, p.LabelName(rc.L1), p.LabelName(rc.L2), kind)
+		}
+	}
+	return nil
+}
+
+func cmdConstraints(args []string) error {
+	fs := flag.NewFlagSet("constraints", flag.ContinueOnError)
+	mode := fs.String("mode", "cs", "analysis mode: cs or ci")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	m, err := parseMode(*mode)
+	if err != nil {
+		return err
+	}
+	p, err := loadProgram(fs)
+	if err != nil {
+		return err
+	}
+	sys := constraints.Generate(labels.Compute(p), m)
+	sl, l1, l2 := sys.Counts()
+	fmt.Printf("// %s: %d Slabels, %d level-1, %d level-2 constraints\n", m, sl, l1, l2)
+	fmt.Print(sys.String())
+	return nil
+}
+
+func cmdExplore(args []string) error {
+	fs := flag.NewFlagSet("explore", flag.ContinueOnError)
+	maxStates := fs.Int("max", 1_000_000, "state budget")
+	a0 := fs.String("a", "", "initial array prefix")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := loadProgram(fs)
+	if err != nil {
+		return err
+	}
+	arr, err := parseArray(*a0)
+	if err != nil {
+		return err
+	}
+	res := explore.MHP(p, arr, *maxStates)
+	fmt.Printf("states=%d complete=%v terminated=%v\n", res.States, res.Complete, res.Terminated)
+	var pairs []string
+	res.MHP.Each(func(i, j int) {
+		if i <= j {
+			pairs = append(pairs, fmt.Sprintf("(%s, %s)", p.LabelName(syntax.Label(i)), p.LabelName(syntax.Label(j))))
+		}
+	})
+	sort.Strings(pairs)
+	fmt.Printf("exact MHP pairs: %d\n", len(pairs))
+	for _, pr := range pairs {
+		fmt.Println(" ", pr)
+	}
+	return nil
+}
+
+func cmdPrint(args []string) error {
+	fs := flag.NewFlagSet("print", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := loadProgram(fs)
+	if err != nil {
+		return err
+	}
+	fmt.Print(syntax.Print(p))
+	return nil
+}
+
+func cmdCheck(args []string) error {
+	fs := flag.NewFlagSet("check", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := loadProgram(fs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ok: %d methods, %d labels, array length %d\n",
+		len(p.Methods), p.NumLabels(), p.ArrayLen)
+	return nil
+}

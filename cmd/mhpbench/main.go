@@ -1,0 +1,82 @@
+// Command mhpbench regenerates the paper's evaluation: the worked
+// examples of Sections 2.1/2.2, the constraint system of Figure 5,
+// and the benchmark tables of Figures 6–9, each printed as a
+// measured/paper table.
+//
+// Usage:
+//
+//	mhpbench [-figure all|5|6|7|8|9|examples]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fx10/internal/experiments"
+)
+
+func main() {
+	figure := flag.String("figure", "all", "which figure to regenerate: all, 5, 6, 7, 8, 9, examples or scaling")
+	flag.Parse()
+	if err := run(*figure); err != nil {
+		fmt.Fprintln(os.Stderr, "mhpbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(figure string) error {
+	want := map[string]bool{}
+	if figure == "all" {
+		for _, f := range []string{"examples", "5", "6", "7", "8", "9"} {
+			want[f] = true
+		}
+	} else {
+		for _, f := range strings.Split(figure, ",") {
+			want[strings.TrimSpace(f)] = true
+		}
+	}
+
+	section := func(title string) { fmt.Printf("\n== %s ==\n\n", title) }
+
+	if want["examples"] {
+		section("Worked examples (Sections 2.1 and 2.2)")
+		for _, ex := range []experiments.ExampleResult{experiments.Example21(), experiments.Example22()} {
+			status := "MATCHES PAPER"
+			if !ex.Match {
+				status = "MISMATCH"
+			}
+			fmt.Printf("%s: %s\n  inferred: %s\n  paper:    %s\n",
+				ex.Name, status, strings.Join(ex.Pairs, " "), strings.Join(ex.Expected, " "))
+		}
+	}
+	if want["5"] {
+		section("Figure 5: constraints for the Section 2.1 example")
+		fmt.Print(experiments.Figure5())
+	}
+	if want["6"] {
+		section("Figure 6: static measurements (measured/paper)")
+		fmt.Print(experiments.FormatFigure6(experiments.Figure6()))
+	}
+	if want["7"] {
+		section("Figure 7: condensed node counts (measured/paper)")
+		fmt.Print(experiments.FormatFigure7(experiments.Figure7()))
+	}
+	if want["8"] {
+		section("Figure 8: type inference (context-sensitive)")
+		fmt.Print(experiments.FormatFigure8(experiments.Figure8()))
+	}
+	if want["9"] {
+		section("Figure 9: context-sensitive vs context-insensitive (mg, plasma)")
+		fmt.Print(experiments.FormatFigure9(experiments.Figure9()))
+	}
+	if want["scaling"] {
+		section("Scaling study: solver time vs program size (Section 5.2 complexity)")
+		fmt.Print(experiments.FormatScaling(experiments.Scaling(experiments.DefaultScalingSizes)))
+	}
+	if len(want) == 0 {
+		return fmt.Errorf("nothing selected; use -figure all|5|6|7|8|9|examples|scaling")
+	}
+	return nil
+}

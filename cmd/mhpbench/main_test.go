@@ -1,0 +1,95 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func captureRun(t *testing.T, figure string) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var sb strings.Builder
+		buf := make([]byte, 64<<10)
+		for {
+			n, rerr := r.Read(buf)
+			sb.Write(buf[:n])
+			if rerr != nil {
+				break
+			}
+		}
+		done <- sb.String()
+	}()
+	ferr := run(figure)
+	w.Close()
+	os.Stdout = old
+	return <-done, ferr
+}
+
+func TestExamplesFigure(t *testing.T) {
+	out, err := captureRun(t, "examples")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if strings.Contains(out, "MISMATCH") {
+		t.Fatalf("worked example mismatch:\n%s", out)
+	}
+	if !strings.Contains(out, "example-2.1: MATCHES PAPER") ||
+		!strings.Contains(out, "example-2.2: MATCHES PAPER") {
+		t.Fatalf("examples output malformed:\n%s", out)
+	}
+}
+
+func TestFigure5(t *testing.T) {
+	out, err := captureRun(t, "5")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "r_S13 = {S2} ∪ r_S1") {
+		t.Fatalf("figure 5 output malformed:\n%s", out)
+	}
+}
+
+func TestFigures6And7(t *testing.T) {
+	out, err := captureRun(t, "6,7")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, frag := range []string{"Figure 6", "Figure 7", "plasma", "151/151"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("output missing %q", frag)
+		}
+	}
+}
+
+func TestFigures8And9(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full benchmark analysis")
+	}
+	out, err := captureRun(t, "8,9")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, frag := range []string{"Figure 8", "Figure 9", "context-insensitive", "mg"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("output missing %q", frag)
+		}
+	}
+}
+
+func TestUnknownFigure(t *testing.T) {
+	out, err := captureRun(t, "42")
+	if err != nil {
+		t.Fatalf("run: %v", err) // unknown figures simply select nothing
+	}
+	if strings.Contains(out, "Figure") {
+		t.Fatalf("unexpected output for unknown figure:\n%s", out)
+	}
+}

@@ -1,0 +1,67 @@
+// Command x10c is the X10-subset front end: it parses an X10-like
+// source file into the condensed form of Figure 7, reports node and
+// async statistics, and can lower the program to core FX10 concrete
+// syntax for the fx10 tool.
+//
+// Usage:
+//
+//	x10c [-stats] [-lower] FILE.x10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fx10/internal/condensed"
+	"fx10/internal/syntax"
+	"fx10/internal/x10"
+)
+
+func main() {
+	stats := flag.Bool("stats", true, "print node and async statistics")
+	lower := flag.Bool("lower", false, "print the lowered core FX10 program")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: x10c [-stats] [-lower] FILE.x10")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *stats, *lower); err != nil {
+		fmt.Fprintln(os.Stderr, "x10c:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, stats, lower bool) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	unit, st, err := x10.Parse(string(data))
+	if err != nil {
+		return err
+	}
+	rewritten := x10.ResolveCalls(unit)
+
+	if stats {
+		c := unit.NodeCounts()
+		a := unit.AsyncStats()
+		fmt.Printf("loc: %d (library calls condensed to skip: %d)\n", st.LOC, rewritten)
+		fmt.Printf("nodes: total=%d end=%d async=%d call=%d finish=%d if=%d loop=%d method=%d return=%d skip=%d switch=%d\n",
+			c.Total,
+			c.Of(condensed.End), c.Of(condensed.Async), c.Of(condensed.Call),
+			c.Of(condensed.Finish), c.Of(condensed.If), c.Of(condensed.Loop),
+			c.Of(condensed.Method), c.Of(condensed.Return), c.Of(condensed.Skip),
+			c.Of(condensed.Switch))
+		fmt.Printf("asyncs: total=%d loop=%d place-switch=%d plain=%d\n",
+			a.Total, a.Loop, a.PlaceSwitch, a.Plain)
+	}
+	if lower {
+		p, err := condensed.Lower(unit)
+		if err != nil {
+			return fmt.Errorf("lowering: %w", err)
+		}
+		fmt.Print(syntax.Print(p))
+	}
+	return nil
+}

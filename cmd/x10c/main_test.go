@@ -1,0 +1,88 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func captureRun(t *testing.T, path string, stats, lower bool) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	ferr := run(path, stats, lower)
+	w.Close()
+	os.Stdout = old
+	var sb strings.Builder
+	buf := make([]byte, 32<<10)
+	for {
+		n, rerr := r.Read(buf)
+		sb.Write(buf[:n])
+		if rerr != nil {
+			break
+		}
+	}
+	return sb.String(), ferr
+}
+
+func TestX10cStatsAndLower(t *testing.T) {
+	out, err := captureRun(t, "../../testdata/pipeline.x10", true, true)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, frag := range []string{
+		"loc:",
+		"nodes: total=",
+		"asyncs: total=2 loop=1 place-switch=1 plain=0",
+		"void main() {",
+		"void map() {",
+		"while (a[0] != 0) {", // the lowered foreach loop
+		"async at (1) {",      // the lowered place async
+	} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestX10cLibraryCallsCondensed(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "lib.x10")
+	src := `
+void main() {
+  helper();
+  System.gc();
+  unknown();
+}
+void helper() { return; }
+`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := captureRun(t, path, true, false)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "library calls condensed to skip: 1") {
+		t.Fatalf("resolve count wrong:\n%s", out)
+	}
+}
+
+func TestX10cErrors(t *testing.T) {
+	if _, err := captureRun(t, "/nonexistent.x10", true, false); err == nil {
+		t.Fatalf("missing file accepted")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.x10")
+	if err := os.WriteFile(path, []byte("void main() { async {"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := captureRun(t, path, true, false); err == nil {
+		t.Fatalf("bad source accepted")
+	}
+}

@@ -1,0 +1,15 @@
+// Package fx10 is a Go reproduction of "Featherweight X10: A Core
+// Calculus for Async-Finish Parallelism" (Lee and Palsberg, PPoPP
+// 2010): the FX10 calculus and its small-step operational semantics,
+// the may-happen-in-parallel type system and its constraint-based
+// type inference (context-sensitive and context-insensitive), a
+// goroutine-backed runtime, an X10-subset front end with the paper's
+// condensed program form, synthetic reconstructions of the paper's 13
+// benchmarks, and harnesses regenerating Figures 5–9.
+//
+// Start at README.md for the tour, DESIGN.md for the system
+// inventory, and EXPERIMENTS.md for paper-vs-measured results. The
+// implementation lives under internal/; the executables are
+// cmd/fx10, cmd/x10c and cmd/mhpbench; runnable examples are under
+// examples/.
+package fx10

@@ -1,0 +1,121 @@
+// Racedetect builds the client the paper motivates: a static data-race
+// detector on top of the may-happen-in-parallel analysis. Two array
+// accesses are a race candidate when they may happen in parallel,
+// touch the same index, and at least one writes.
+//
+// The example analyzes a buggy reduction (workers accumulate into one
+// cell without synchronization), confirms the dynamic nondeterminism
+// with the goroutine runtime, then analyzes the finish-fixed version
+// and shows the candidates disappear.
+//
+//	go run ./examples/racedetect
+package main
+
+import (
+	"fmt"
+
+	"fx10/internal/constraints"
+	"fx10/internal/mhp"
+	"fx10/internal/parser"
+	"fx10/internal/runtime"
+	"fx10/internal/syntax"
+)
+
+// buggy: two workers increment a[0] concurrently and the total is
+// read while they may still be running.
+const buggy = `
+array 4;
+
+void worker() {
+  W: a[0] = a[0] + 1;
+}
+
+void main() {
+  A1: async { worker(); }
+  A2: async { worker(); }
+  R: a[1] = a[0] + 1;
+}
+`
+
+// fixed: each worker writes a private cell, and a finish joins them
+// before the read. (Merely adding the finish would still leave the
+// two increments of a[0] racing with each other — a lost update the
+// analysis correctly keeps flagging — so the fix also privatizes.)
+const fixed = `
+array 4;
+
+void worker1() {
+  W1: a[1] = a[1] + 1;
+}
+
+void worker2() {
+  W2: a[2] = a[2] + 1;
+}
+
+void main() {
+  F: finish {
+    A1: async { worker1(); }
+    A2: async { worker2(); }
+  }
+  R: a[0] = a[1] + 1;
+}
+`
+
+func analyze(name, src string) []mhp.RaceCandidate {
+	p := parser.MustParse(src)
+	r := mhp.Analyze(p, constraints.ContextSensitive)
+	races := r.RaceCandidates()
+	fmt.Printf("%s: %d race candidates\n", name, len(races))
+	for _, rc := range races {
+		kind := "write/read"
+		if rc.WriteWrite {
+			kind = "write/write"
+		}
+		fmt.Printf("  a[%d]: %s vs %s (%s)\n",
+			rc.Index, p.LabelName(rc.L1), p.LabelName(rc.L2), kind)
+	}
+	return races
+}
+
+func observe(name, src string, cell int, runs int) map[int64]int {
+	p := parser.MustParse(src)
+	outcomes := map[int64]int{}
+	for i := 0; i < runs; i++ {
+		res, err := runtime.Run(p, nil, runtime.Options{})
+		if err != nil {
+			panic(err)
+		}
+		outcomes[res.Array[cell]]++
+	}
+	fmt.Printf("%s: observed a[%d] outcomes over %d goroutine runs: %v\n", name, cell, runs, outcomes)
+	return outcomes
+}
+
+func main() {
+	fmt.Println("--- buggy version ---")
+	races := analyze("static analysis", buggy)
+	if len(races) < 2 {
+		panic("expected the write/write and write/read candidates")
+	}
+	observe("dynamic runs", buggy, 1, 500)
+
+	fmt.Println()
+	fmt.Println("--- fixed version (private cells + finish) ---")
+	fixedRaces := analyze("static analysis", fixed)
+	if len(fixedRaces) != 0 {
+		panic("fixed version should be race free")
+	}
+	outcomes := observe("dynamic runs", fixed, 0, 500)
+	if len(outcomes) != 1 {
+		panic(fmt.Sprintf("fixed version should be deterministic, saw %v", outcomes))
+	}
+
+	// The self-pair subtlety: the worker's increment W races with
+	// itself in the buggy version (two concurrent calls).
+	p := parser.MustParse(buggy)
+	w, _ := p.LabelByName("W")
+	r := mhp.Analyze(p, constraints.ContextSensitive)
+	fmt.Println()
+	fmt.Printf("W may happen in parallel with itself: %v\n", r.MayHappenInParallel(w, w))
+	_ = syntax.Print
+}

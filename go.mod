@@ -1,0 +1,3 @@
+module fx10
+
+go 1.22

@@ -1,0 +1,405 @@
+// Package clocks implements the Section 8 clocks extension: a single
+// implicit clock, `clocked async` activities registered on it, and
+// the `next` split-phase barrier.
+//
+// The core pipeline (machine, types, constraints) treats clocked
+// constructs by erasure — a barrier is skipped — which is sound for
+// may-happen-in-parallel information because removing synchronization
+// only adds interleavings. This package supplies what erasure loses:
+//
+//   - Interp, an activity-based small-step interpreter with the real
+//     barrier semantics: a registered activity that executes next
+//     blocks until every live registered activity is at a next, then
+//     the clock advances one phase and all of them resume. Executing
+//     next in an unregistered activity is a dynamic error (X10's
+//     ClockUseException analogue), and a barrier that can never be
+//     released — a registered activity stuck behind a finish whose
+//     children wait on the clock — is detected and reported rather
+//     than hanging.
+//
+//   - A phase analysis (phase.go) assigning static clock phases to
+//     labels where they are unambiguous, which soundly removes MHP
+//     pairs whose phases differ.
+//
+// The main activity is registered on the clock, as the spawner is in
+// X10.
+package clocks
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"fx10/internal/intset"
+	"fx10/internal/syntax"
+)
+
+// ErrUnclockedNext is the dynamic error for next outside a registered
+// activity.
+var ErrUnclockedNext = errors.New("clocks: next executed by an unregistered activity")
+
+// ErrClockDeadlock is reported when no activity can run and the
+// barrier can never be released (e.g. a registered activity blocked
+// in a finish whose children wait on the clock).
+var ErrClockDeadlock = errors.New("clocks: barrier deadlock")
+
+// ErrFuel is reported when the step budget is exhausted.
+var ErrFuel = errors.New("clocks: step budget exhausted")
+
+// frame is one entry of an activity's control stack: either a
+// statement to run (S != nil) or a join point waiting for a finish
+// scope to drain (Wait != nil).
+type frame struct {
+	S     *syntax.Stmt
+	Scope *fscope // finish scope in effect for S's asyncs
+	Wait  *fscope // when non-nil: block until Wait.live == 0, then pop
+}
+
+// fscope counts the activities transitively spawned under one finish
+// that have not yet terminated.
+type fscope struct {
+	live int
+}
+
+// activity is one FX10 activity (the main activity or an async body).
+type activity struct {
+	id         int
+	stack      []frame
+	registered bool
+	atBarrier  bool
+	spawnScope *fscope // the finish scope this activity counts against
+	place      int
+}
+
+func (a *activity) terminated() bool { return len(a.stack) == 0 }
+
+// top returns the active frame.
+func (a *activity) top() *frame { return &a.stack[len(a.stack)-1] }
+
+// Interp executes clocked FX10 programs.
+type Interp struct {
+	p     *syntax.Program
+	a     []int64
+	acts  []*activity
+	root  fscope
+	phase int
+	steps int
+	rng   *rand.Rand
+
+	// observed pairs of labels whose instructions were simultaneously
+	// runnable (the clocked analogue of ∪ parallel(T)).
+	pairs *intset.PairSet
+	// phasesSeen[l] records every clock phase at which label l was
+	// executed (used to validate the static phase analysis). Phases
+	// beyond maxTrackedPhase are clamped.
+	phasesSeen map[syntax.Label]map[int]bool
+}
+
+// New prepares an interpreter for p with the initial array a0 (nil =
+// zeros) and a scheduling seed.
+func New(p *syntax.Program, a0 []int64, seed int64) *Interp {
+	in := &Interp{
+		p:          p,
+		a:          make([]int64, p.ArrayLen),
+		rng:        rand.New(rand.NewSource(seed)),
+		pairs:      intset.NewPairs(p.NumLabels()),
+		phasesSeen: map[syntax.Label]map[int]bool{},
+	}
+	copy(in.a, a0)
+	main := &activity{
+		id:         0,
+		stack:      []frame{{S: p.Main().Body, Scope: &in.root}},
+		registered: true, // the spawner holds the implicit clock
+		spawnScope: &in.root,
+	}
+	in.acts = []*activity{main}
+	return in
+}
+
+// Result reports a completed clocked execution.
+type Result struct {
+	Array  []int64
+	Steps  int
+	Phases int // barrier releases
+	// Pairs is the union over the run of symcross over the current
+	// labels of simultaneously runnable activities.
+	Pairs *intset.PairSet
+}
+
+// runnable reports whether the activity can take a step right now.
+func (in *Interp) runnable(a *activity) bool {
+	if a.terminated() || a.atBarrier {
+		return false
+	}
+	f := a.top()
+	if f.Wait != nil {
+		return f.Wait.live == 0 // the join can fire
+	}
+	return true
+}
+
+// currentLabel returns the label the activity would execute next, if
+// it is sitting on an instruction.
+func (in *Interp) currentLabel(a *activity) (syntax.Label, bool) {
+	if a.terminated() || a.top().S == nil {
+		return syntax.NoLabel, false
+	}
+	return a.top().S.Instr.Label(), true
+}
+
+// recordParallel unions the pairwise cross of runnable activities'
+// current labels.
+func (in *Interp) recordParallel() {
+	var ls []int
+	for _, a := range in.acts {
+		if in.runnable(a) {
+			if l, ok := in.currentLabel(a); ok {
+				ls = append(ls, int(l))
+			}
+		}
+	}
+	for i := 0; i < len(ls); i++ {
+		for j := i + 1; j < len(ls); j++ {
+			in.pairs.AddSym(ls[i], ls[j])
+		}
+	}
+}
+
+// step advances one runnable activity chosen at random. It reports
+// whether anything ran.
+func (in *Interp) step() (bool, error) {
+	var ready []*activity
+	for _, a := range in.acts {
+		if in.runnable(a) {
+			ready = append(ready, a)
+		}
+	}
+	if len(ready) == 0 {
+		return false, nil
+	}
+	in.recordParallel()
+	a := ready[in.rng.Intn(len(ready))]
+	return true, in.stepActivity(a)
+}
+
+func (in *Interp) stepActivity(a *activity) error {
+	in.steps++
+	f := a.top()
+
+	// A satisfied join point.
+	if f.Wait != nil {
+		in.pop(a)
+		return nil
+	}
+
+	s := f.S
+	instr := s.Instr
+	if l, ok := in.currentLabel(a); ok {
+		seen := in.phasesSeen[l]
+		if seen == nil {
+			seen = map[int]bool{}
+			in.phasesSeen[l] = seen
+		}
+		seen[in.phase] = true
+	}
+	advance := func() {
+		f.S = s.Next
+		if f.S == nil {
+			in.pop(a)
+		}
+	}
+
+	switch i := instr.(type) {
+	case *syntax.Skip:
+		advance()
+
+	case *syntax.Assign:
+		var v int64
+		switch e := i.Rhs.(type) {
+		case syntax.Const:
+			v = e.C
+		case syntax.Plus:
+			v = in.a[e.D] + 1
+		}
+		in.a[i.D] = v
+		advance()
+
+	case *syntax.While:
+		if in.a[i.D] == 0 {
+			advance()
+		} else {
+			// Unroll: body . (while k), sharing the loop node.
+			f.S = syntax.Seq(i.Body, s)
+		}
+
+	case *syntax.Call:
+		f.S = syntax.Seq(in.p.Methods[i.Method].Body, s.Next)
+		if f.S == nil {
+			in.pop(a)
+		}
+
+	case *syntax.Async:
+		place := a.place
+		if i.Place != 0 {
+			place = i.Place
+		}
+		child := &activity{
+			id:         len(in.acts),
+			stack:      []frame{{S: i.Body, Scope: f.Scope}},
+			registered: i.Clocked,
+			spawnScope: f.Scope,
+			place:      place,
+		}
+		f.Scope.live++
+		in.acts = append(in.acts, child)
+		advance()
+
+	case *syntax.Finish:
+		inner := &fscope{}
+		k := s.Next
+		// Replace the current frame position: continue with k after
+		// the join; run the body under the inner scope first.
+		f.S = k
+		if f.S == nil {
+			// The finish is the frame's last instruction: the join
+			// replaces the frame.
+			*f = frame{Wait: inner, Scope: f.Scope}
+			a.stack = append(a.stack, frame{S: i.Body, Scope: inner})
+		} else {
+			a.stack = append(a.stack, frame{Wait: inner, Scope: f.Scope})
+			a.stack = append(a.stack, frame{S: i.Body, Scope: inner})
+		}
+
+	case *syntax.Next:
+		if !a.registered {
+			return fmt.Errorf("%w (label %s)", ErrUnclockedNext, in.p.LabelName(i.L))
+		}
+		// Park at the barrier; the release (possibly right now, if
+		// this was the last registered activity to arrive) advances
+		// every parked activity past its next.
+		a.atBarrier = true
+		in.tryReleaseBarrier()
+
+	default:
+		return fmt.Errorf("clocks: unknown instruction %T", instr)
+	}
+	return nil
+}
+
+// pop removes the finished top frame and credits the spawn scope when
+// the whole activity terminates.
+func (in *Interp) pop(a *activity) {
+	a.stack = a.stack[:len(a.stack)-1]
+	if a.terminated() {
+		a.spawnScope.live--
+	}
+}
+
+// tryReleaseBarrier releases the barrier iff at least one activity is
+// parked at it and every live registered activity is parked. It
+// reports whether the clock advanced. Termination of a registered
+// activity can also make the barrier releasable, so Run retries this
+// whenever execution stalls.
+func (in *Interp) tryReleaseBarrier() bool {
+	any := false
+	for _, a := range in.acts {
+		if a.registered && !a.terminated() {
+			if !a.atBarrier {
+				return false
+			}
+			any = true
+		}
+	}
+	if any {
+		in.releaseBarrier()
+	}
+	return any
+}
+
+// releaseBarrier advances the clock: every activity at the barrier
+// moves past its next instruction.
+func (in *Interp) releaseBarrier() {
+	in.phase++
+	for _, a := range in.acts {
+		if !a.atBarrier {
+			continue
+		}
+		a.atBarrier = false
+		f := a.top()
+		f.S = f.S.Next
+		if f.S == nil {
+			in.pop(a)
+		}
+	}
+}
+
+// blockedBarrierDeadlock diagnoses the stuck configuration: nothing
+// runnable, somebody at the barrier, but some live registered
+// activity is not at the barrier (it is blocked in a finish join that
+// transitively waits on barrier-parked activities).
+func (in *Interp) diagnose() error {
+	anyLive := false
+	anyAtBarrier := false
+	for _, a := range in.acts {
+		if !a.terminated() {
+			anyLive = true
+		}
+		if a.atBarrier {
+			anyAtBarrier = true
+		}
+	}
+	if !anyLive {
+		return nil // normal termination
+	}
+	if anyAtBarrier {
+		return fmt.Errorf("%w: a registered activity is blocked in a finish while others wait at next (phase %d)", ErrClockDeadlock, in.phase)
+	}
+	// No one at the barrier and no one runnable with live activities:
+	// impossible for well-formed programs (finish scopes always
+	// drain), so report it loudly.
+	return fmt.Errorf("%w: no runnable activity and no barrier to release", ErrClockDeadlock)
+}
+
+// Run executes to completion (or error) within the step budget.
+func (in *Interp) Run(maxSteps int) (Result, error) {
+	for in.steps < maxSteps {
+		ran, err := in.step()
+		if err != nil {
+			return in.result(), err
+		}
+		if !ran {
+			// A registered activity may have terminated since the
+			// last arrival at the barrier; try releasing it before
+			// concluding anything.
+			if in.tryReleaseBarrier() {
+				continue
+			}
+			if err := in.diagnose(); err != nil {
+				return in.result(), err
+			}
+			return in.result(), nil // all terminated
+		}
+	}
+	return in.result(), ErrFuel
+}
+
+func (in *Interp) result() Result {
+	return Result{Array: in.a, Steps: in.steps, Phases: in.phase, Pairs: in.pairs}
+}
+
+// Run is the package-level convenience: execute p under a random
+// schedule.
+func Run(p *syntax.Program, a0 []int64, seed int64, maxSteps int) (Result, error) {
+	return New(p, a0, seed).Run(maxSteps)
+}
+
+// PhasesSeen returns the phases at which the given label was observed
+// executing during the run (for validating the static phase
+// analysis).
+func (in *Interp) PhasesSeen(l syntax.Label) []int {
+	var out []int
+	for ph := range in.phasesSeen[l] {
+		out = append(out, ph)
+	}
+	return out
+}

@@ -1,0 +1,269 @@
+// Package condensed implements the condensed program form the
+// paper's implementation analyzes (Section 6, Figure 7): a tree of
+// ten node kinds — end, async, call, finish, if, loop, method,
+// return, skip, switch — produced from X10 source by internal/x10,
+// plus the lowering from condensed form to core FX10 that the
+// analysis pipeline consumes.
+//
+// Lowering is one FX10 instruction per non-End node, which reproduces
+// the paper's accounting where the number of Slabels (and level-2)
+// constraints equals the number of non-End nodes:
+//
+//   - skip, return and compute statements lower to skip (a return's
+//     early exit is ignored — a conservative approximation);
+//   - call lowers to a call, async to an async (with its place
+//     annotation), finish to a finish;
+//   - loop lowers to a while on a synthesized guard cell — the
+//     analysis is value-insensitive, so the guard's meaning is
+//     irrelevant;
+//   - if and switch lower to a skip carrying the node's label
+//     followed by the branches in sequence, which conservatively
+//     lets the analysis see every branch;
+//   - end nodes are placeholders and lower to nothing.
+package condensed
+
+import (
+	"fmt"
+
+	"fx10/internal/syntax"
+)
+
+// Kind enumerates the ten condensed node kinds of Figure 7.
+type Kind int
+
+// Node kinds, alphabetically as in Figure 7's columns.
+const (
+	End Kind = iota
+	Async
+	Call
+	Finish
+	If
+	Loop
+	Method
+	Return
+	Skip
+	Switch
+	numKinds
+)
+
+var kindNames = [...]string{"end", "async", "call", "finish", "if", "loop", "method", "return", "skip", "switch"}
+
+func (k Kind) String() string {
+	if k < 0 || k >= numKinds {
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// Node is one condensed-form node.
+type Node struct {
+	Kind  Kind
+	Label string // optional display label; auto-generated when empty
+	// Body is the block of async/finish/loop nodes and the then-
+	// branch of if.
+	Body []*Node
+	// Else is if's else-branch (may be nil).
+	Else []*Node
+	// Cases are switch's case blocks.
+	Cases [][]*Node
+	// Callee is call's target method name.
+	Callee string
+	// Place is async's target place; non-zero marks a place-switching
+	// async.
+	Place int
+}
+
+// MethodDecl is one condensed method. Every block, including the
+// method body, is implicitly terminated by an End node, which Counts
+// tallies without the node being materialized.
+type MethodDecl struct {
+	Name string
+	Body []*Node
+}
+
+// Unit is a condensed program.
+type Unit struct {
+	Methods []*MethodDecl
+}
+
+// Counts is a Figure 7 row: the number of nodes of each kind.
+type Counts struct {
+	Total  int
+	ByKind [int(numKinds)]int
+}
+
+// Add tallies one node of kind k.
+func (c *Counts) Add(k Kind) {
+	c.Total++
+	c.ByKind[k]++
+}
+
+// Of returns the count for one kind.
+func (c Counts) Of(k Kind) int { return c.ByKind[k] }
+
+// NodeCounts computes the Figure 7 row for the unit. Every method
+// contributes one Method node; every block (method body, async,
+// finish, loop, each if branch, each switch case) contributes one
+// implicit End node.
+func (u *Unit) NodeCounts() Counts {
+	var c Counts
+	for _, m := range u.Methods {
+		c.Add(Method)
+		countBlock(&c, m.Body)
+	}
+	return c
+}
+
+func countBlock(c *Counts, block []*Node) {
+	for _, n := range block {
+		c.Add(n.Kind)
+		switch n.Kind {
+		case Async, Finish, Loop:
+			countBlock(c, n.Body)
+		case If:
+			countBlock(c, n.Body)
+			if n.Else != nil {
+				countBlock(c, n.Else)
+			}
+		case Switch:
+			for _, cs := range n.Cases {
+				countBlock(c, cs)
+			}
+		}
+	}
+	c.Add(End) // the block's implicit terminator
+}
+
+// AsyncStats classifies the unit's asyncs as in Figure 6: loop
+// asyncs occur (transitively) inside a loop with no finish between
+// the loop and the async — they may happen in parallel with their own
+// other iterations; place-switching asyncs carry a place annotation.
+// An async that is both (an ateach body) counts as a loop async, as
+// the paper specifies; an async that is neither is counted in Plain.
+type AsyncStats struct {
+	Total       int
+	Loop        int
+	PlaceSwitch int
+	Plain       int
+}
+
+// AsyncStats computes the classification.
+func (u *Unit) AsyncStats() AsyncStats {
+	var s AsyncStats
+	for _, m := range u.Methods {
+		classifyBlock(&s, m.Body, false)
+	}
+	return s
+}
+
+// classifyBlock walks a block; inLoop is whether a loop encloses the
+// block with no intervening finish.
+func classifyBlock(s *AsyncStats, block []*Node, inLoop bool) {
+	for _, n := range block {
+		switch n.Kind {
+		case Async:
+			s.Total++
+			switch {
+			case inLoop:
+				s.Loop++
+			case n.Place != 0:
+				s.PlaceSwitch++
+			default:
+				s.Plain++
+			}
+			// The async body starts a new activity; a loop around the
+			// async still multiplies whatever is inside, so inLoop
+			// propagates into the body.
+			classifyBlock(s, n.Body, inLoop)
+		case Finish:
+			classifyBlock(s, n.Body, false)
+		case Loop:
+			classifyBlock(s, n.Body, true)
+		case If:
+			classifyBlock(s, n.Body, inLoop)
+			if n.Else != nil {
+				classifyBlock(s, n.Else, inLoop)
+			}
+		case Switch:
+			for _, cs := range n.Cases {
+				classifyBlock(s, cs, inLoop)
+			}
+		}
+	}
+}
+
+// LowerArrayLen is the array length of lowered programs; loops use
+// guard cell 0 and the remaining cells are free for workloads.
+const LowerArrayLen = 4
+
+// Lower translates the unit to a core FX10 program (see the package
+// comment for the node-by-node mapping). Method and label names are
+// preserved where present.
+func Lower(u *Unit) (*syntax.Program, error) {
+	b := syntax.NewBuilder(LowerArrayLen)
+	for _, m := range u.Methods {
+		instrs := lowerBlock(b, m.Body)
+		if len(instrs) == 0 {
+			instrs = []syntax.Instr{b.Skip("")}
+		}
+		if err := b.AddMethod(m.Name, b.Stmts(instrs...)); err != nil {
+			return nil, err
+		}
+	}
+	return b.Program()
+}
+
+// MustLower is Lower that panics on error, for workload definitions.
+func MustLower(u *Unit) *syntax.Program {
+	p, err := Lower(u)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func lowerBlock(b *syntax.Builder, block []*Node) []syntax.Instr {
+	var out []syntax.Instr
+	for _, n := range block {
+		switch n.Kind {
+		case End:
+			// Placeholder: no instruction.
+		case Skip, Return:
+			out = append(out, b.Skip(n.Label))
+		case Call:
+			out = append(out, b.Call(n.Label, n.Callee))
+		case Async:
+			body := nonEmpty(b, lowerBlock(b, n.Body))
+			if n.Place != 0 {
+				out = append(out, b.AsyncAt(n.Label, n.Place, b.Stmts(body...)))
+			} else {
+				out = append(out, b.Async(n.Label, b.Stmts(body...)))
+			}
+		case Finish:
+			body := nonEmpty(b, lowerBlock(b, n.Body))
+			out = append(out, b.Finish(n.Label, b.Stmts(body...)))
+		case Loop:
+			body := nonEmpty(b, lowerBlock(b, n.Body))
+			out = append(out, b.While(n.Label, 0, b.Stmts(body...)))
+		case If:
+			out = append(out, b.Skip(n.Label))
+			out = append(out, lowerBlock(b, n.Body)...)
+			out = append(out, lowerBlock(b, n.Else)...)
+		case Switch:
+			out = append(out, b.Skip(n.Label))
+			for _, cs := range n.Cases {
+				out = append(out, lowerBlock(b, cs)...)
+			}
+		default:
+			panic(fmt.Sprintf("condensed: unknown node kind %v", n.Kind))
+		}
+	}
+	return out
+}
+
+func nonEmpty(b *syntax.Builder, instrs []syntax.Instr) []syntax.Instr {
+	if len(instrs) == 0 {
+		return []syntax.Instr{b.Skip("")}
+	}
+	return instrs
+}

@@ -1,0 +1,279 @@
+package constraints
+
+import (
+	"fx10/internal/intset"
+	"fx10/internal/labels"
+	"fx10/internal/syntax"
+)
+
+// Generate builds the constraint system C(p) for the program behind
+// in, in the given mode. Constraint shapes follow equations (57)–(82)
+// (and (83)–(84) for ContextInsensitive), extended uniformly to
+// statements whose final instruction is not a skip: an absent
+// continuation contributes nothing to m and leaves o equal to the
+// instruction's own "still running afterwards" set, mirroring the
+// treatment in internal/types.
+//
+// Constraints are emitted in dependency-friendly order so that the
+// Gauss–Seidel solver converges in few passes, as the paper's
+// implementation does: methods are ordered callee-first (level-1
+// information flows callee→caller through the oᵢ variables in the
+// context-sensitive analysis), r constraints are emitted in pre-order
+// (they flow root-to-leaf) and o/m constraints in post-order (they
+// flow leaf-to-root). The context-insensitive mode adds
+// caller→callee flows through the rᵢ variables, which is why it needs
+// more level-1 passes (the Figure 9 effect).
+func Generate(in *labels.Info, mode Mode) *System {
+	p := in.Program()
+	s := &System{
+		P:     p,
+		Info:  in,
+		Mode:  mode,
+		StmtR: map[*syntax.Stmt]SetVar{},
+		StmtO: map[*syntax.Stmt]SetVar{},
+		StmtM: map[*syntax.Stmt]PairVar{},
+	}
+	g := &generator{s: s, in: in, n: p.NumLabels()}
+
+	// Per-method variables first, so call-site constraints can refer
+	// to any method.
+	s.MethodO = make([]SetVar, len(p.Methods))
+	s.MethodM = make([]PairVar, len(p.Methods))
+	if mode == ContextInsensitive {
+		s.MethodR = make([]SetVar, len(p.Methods))
+	}
+	for i, m := range p.Methods {
+		s.MethodO[i] = g.newSetVar("o_" + m.Name)
+		s.MethodM[i] = g.newPairVar("m_" + m.Name)
+		if mode == ContextInsensitive {
+			s.MethodR[i] = g.newSetVar("r_" + m.Name)
+		}
+	}
+
+	for _, i := range calleeFirstOrder(p) {
+		m := p.Methods[i]
+		g.allocStmt(m.Body)
+		// Equation (57) / (84): the body's R is ∅, or rᵢ when
+		// context-insensitive.
+		if mode == ContextInsensitive {
+			g.l1(s.StmtR[m.Body], nil, s.MethodR[i])
+			// rᵢ itself is defined only by the subset constraints
+			// from call sites; give it the empty base equation.
+			g.l1(s.MethodR[i], nil)
+		} else {
+			g.l1(s.StmtR[m.Body], nil)
+		}
+
+		g.genStmt(m.Body)
+
+		// Equations (58), (59), after the body so oᵢ/mᵢ see the
+		// body's solved values within the same pass.
+		g.l1(s.MethodO[i], nil, s.StmtO[m.Body])
+		s.L2s = append(s.L2s, L2{LHS: s.MethodM[i], Pairs: []PairVar{s.StmtM[m.Body]}})
+	}
+	return s
+}
+
+// calleeFirstOrder returns the method indices in reverse call-graph
+// order (callees before callers where the call graph permits; cycles
+// are broken at the DFS back edge). Unreachable methods follow in
+// index order.
+func calleeFirstOrder(p *syntax.Program) []int {
+	visited := make([]bool, len(p.Methods))
+	var order []int
+	var visit func(int)
+	visit = func(mi int) {
+		if visited[mi] {
+			return
+		}
+		visited[mi] = true
+		p.Methods[mi].Body.EachDeep(func(i syntax.Instr) {
+			if c, ok := i.(*syntax.Call); ok {
+				visit(c.Method)
+			}
+		})
+		order = append(order, mi)
+	}
+	visit(p.MainIndex)
+	for mi := range p.Methods {
+		visit(mi)
+	}
+	return order
+}
+
+type generator struct {
+	s  *System
+	in *labels.Info
+	n  int
+}
+
+func (g *generator) newSetVar(name string) SetVar {
+	v := SetVar(len(g.s.SetVarNames))
+	g.s.SetVarNames = append(g.s.SetVarNames, name)
+	return v
+}
+
+func (g *generator) newPairVar(name string) PairVar {
+	v := PairVar(len(g.s.PairVarNames))
+	g.s.PairVarNames = append(g.s.PairVarNames, name)
+	return v
+}
+
+// allocStmt allocates r/o/m variables for every statement node
+// (suffix) reachable from st, including nested bodies.
+func (g *generator) allocStmt(st *syntax.Stmt) {
+	for cur := st; cur != nil; cur = cur.Next {
+		name := g.s.P.LabelName(cur.Instr.Label())
+		g.s.StmtR[cur] = g.newSetVar("r_" + name)
+		g.s.StmtO[cur] = g.newSetVar("o_" + name)
+		g.s.StmtM[cur] = g.newPairVar("m_" + name)
+		if b := syntax.Body(cur.Instr); b != nil {
+			g.allocStmt(b)
+		}
+	}
+}
+
+// l1 appends LHS = const ∪ vars….
+func (g *generator) l1(lhs SetVar, c *intset.Set, vars ...SetVar) {
+	g.s.L1s = append(g.s.L1s, L1{LHS: lhs, Const: c, Vars: vars})
+}
+
+// lcross builds the Lcross(l, v) cross term.
+func (g *generator) lcross(l syntax.Label, v SetVar) CrossTerm {
+	return CrossTerm{
+		Kind:  KLcross,
+		Name:  g.s.P.LabelName(l),
+		Const: intset.Of(g.n, int(l)),
+		Var:   v,
+	}
+}
+
+// scross builds the Scross(s, v) cross term for a statement.
+func (g *generator) scross(body *syntax.Stmt, v SetVar) CrossTerm {
+	return CrossTerm{
+		Kind:  KScross,
+		Name:  g.s.P.LabelName(body.Instr.Label()),
+		Const: g.in.Slabels(body),
+		Var:   v,
+	}
+}
+
+// symcrossMethod builds symcross(Slabels(p(f)), v) for a callee.
+func (g *generator) symcrossMethod(mi int, v SetVar) CrossTerm {
+	return CrossTerm{
+		Kind:  KSymcross,
+		Name:  "Slabels(" + g.s.P.Methods[mi].Name + ")",
+		Const: g.in.MethodLabels(mi),
+		Var:   v,
+	}
+}
+
+// genStmt emits the constraints for the statement node cur and
+// everything nested in or following it: r constraints on the way
+// down, o and m constraints on the way back up. Variables must
+// already be allocated.
+func (g *generator) genStmt(cur *syntax.Stmt) {
+	if cur == nil {
+		return
+	}
+	s := g.s
+	l := cur.Instr.Label()
+	k := cur.Next
+	rS, oS, mS := s.StmtR[cur], s.StmtO[cur], s.StmtM[cur]
+
+	switch i := cur.Instr.(type) {
+	case *syntax.Skip, *syntax.Assign, *syntax.Next:
+		// Equations (60)–(67); next is clock-erased (see
+		// internal/types), so it constrains like a skip.
+		if k != nil {
+			g.l1(s.StmtR[k], nil, rS)
+			g.genStmt(k)
+			g.l1(oS, nil, s.StmtO[k])
+			s.L2s = append(s.L2s, L2{LHS: mS,
+				Crosses: []CrossTerm{g.lcross(l, rS)},
+				Pairs:   []PairVar{s.StmtM[k]}})
+		} else {
+			g.l1(oS, nil, rS)
+			s.L2s = append(s.L2s, L2{LHS: mS,
+				Crosses: []CrossTerm{g.lcross(l, rS)}})
+		}
+
+	case *syntax.While:
+		// Equations (68)–(71).
+		b := i.Body
+		g.l1(s.StmtR[b], nil, rS)
+		g.genStmt(b)
+		crosses := []CrossTerm{g.lcross(l, s.StmtO[b]), g.scross(b, s.StmtO[b])}
+		if k != nil {
+			g.l1(s.StmtR[k], nil, s.StmtO[b])
+			g.genStmt(k)
+			g.l1(oS, nil, s.StmtO[k])
+			s.L2s = append(s.L2s, L2{LHS: mS, Crosses: crosses,
+				Pairs: []PairVar{s.StmtM[b], s.StmtM[k]}})
+		} else {
+			g.l1(oS, nil, s.StmtO[b])
+			s.L2s = append(s.L2s, L2{LHS: mS, Crosses: crosses,
+				Pairs: []PairVar{s.StmtM[b]}})
+		}
+
+	case *syntax.Async:
+		// Equations (72)–(75).
+		b := i.Body
+		if k != nil {
+			g.l1(s.StmtR[b], g.in.Slabels(k), rS)
+			g.l1(s.StmtR[k], g.in.Slabels(b), rS)
+			g.genStmt(b)
+			g.genStmt(k)
+			g.l1(oS, nil, s.StmtO[k])
+			s.L2s = append(s.L2s, L2{LHS: mS,
+				Crosses: []CrossTerm{g.lcross(l, rS)},
+				Pairs:   []PairVar{s.StmtM[b], s.StmtM[k]}})
+		} else {
+			g.l1(s.StmtR[b], nil, rS)
+			g.genStmt(b)
+			g.l1(oS, g.in.Slabels(b), rS)
+			s.L2s = append(s.L2s, L2{LHS: mS,
+				Crosses: []CrossTerm{g.lcross(l, rS)},
+				Pairs:   []PairVar{s.StmtM[b]}})
+		}
+
+	case *syntax.Finish:
+		// Equations (76)–(79).
+		b := i.Body
+		g.l1(s.StmtR[b], nil, rS)
+		g.genStmt(b)
+		if k != nil {
+			g.l1(s.StmtR[k], nil, rS)
+			g.genStmt(k)
+			g.l1(oS, nil, s.StmtO[k])
+			s.L2s = append(s.L2s, L2{LHS: mS,
+				Crosses: []CrossTerm{g.lcross(l, rS)},
+				Pairs:   []PairVar{s.StmtM[b], s.StmtM[k]}})
+		} else {
+			g.l1(oS, nil, rS)
+			s.L2s = append(s.L2s, L2{LHS: mS,
+				Crosses: []CrossTerm{g.lcross(l, rS)},
+				Pairs:   []PairVar{s.StmtM[b]}})
+		}
+
+	case *syntax.Call:
+		// Equations (80)–(82), plus (83) when context-insensitive.
+		fi := i.Method
+		if s.Mode == ContextInsensitive {
+			s.Subsets = append(s.Subsets, Subset{Sup: s.MethodR[fi], Sub: rS})
+		}
+		if k != nil {
+			g.l1(s.StmtR[k], nil, rS, s.MethodO[fi])
+			g.genStmt(k)
+			g.l1(oS, nil, s.StmtO[k])
+			s.L2s = append(s.L2s, L2{LHS: mS,
+				Crosses: []CrossTerm{g.lcross(l, rS), g.symcrossMethod(fi, rS)},
+				Pairs:   []PairVar{s.MethodM[fi], s.StmtM[k]}})
+		} else {
+			g.l1(oS, nil, rS, s.MethodO[fi])
+			s.L2s = append(s.L2s, L2{LHS: mS,
+				Crosses: []CrossTerm{g.lcross(l, rS), g.symcrossMethod(fi, rS)},
+				Pairs:   []PairVar{s.MethodM[fi]}})
+		}
+	}
+}

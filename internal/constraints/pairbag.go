@@ -1,0 +1,68 @@
+package constraints
+
+import (
+	"fx10/internal/intset"
+)
+
+// pairBag is a sparse set of ordered label pairs, used for the m
+// variables of the constraint solver. The analysis generates one m
+// variable per statement; at benchmark scale (thousands of labels) a
+// dense n×n bitmap per variable would need gigabytes, while the
+// number of distinct pairs actually flowing through the system is
+// small. Final results are converted to dense intset.PairSet.
+type pairBag map[uint64]struct{}
+
+func pairKey(i, j int) uint64 {
+	return uint64(uint32(i))<<32 | uint64(uint32(j))
+}
+
+// add inserts the ordered pair (i, j) and reports change.
+func (b pairBag) add(i, j int) bool {
+	k := pairKey(i, j)
+	if _, ok := b[k]; ok {
+		return false
+	}
+	b[k] = struct{}{}
+	return true
+}
+
+// unionWith adds every pair of o and reports change.
+func (b pairBag) unionWith(o pairBag) bool {
+	changed := false
+	for k := range o {
+		if _, ok := b[k]; !ok {
+			b[k] = struct{}{}
+			changed = true
+		}
+	}
+	return changed
+}
+
+// crossSym adds (A × B) ∪ (B × A) and reports change.
+func (b pairBag) crossSym(a, bb *intset.Set) bool {
+	changed := false
+	a.Each(func(i int) {
+		bb.Each(func(j int) {
+			if b.add(i, j) {
+				changed = true
+			}
+			if b.add(j, i) {
+				changed = true
+			}
+		})
+	})
+	return changed
+}
+
+// toPairSet converts to a dense pair set over universe n.
+func (b pairBag) toPairSet(n int) *intset.PairSet {
+	out := intset.NewPairs(n)
+	for k := range b {
+		out.Add(int(k>>32), int(uint32(k)))
+	}
+	return out
+}
+
+// footprintBytes estimates the memory retained by the bag (Go map
+// overhead of roughly 16 bytes per 8-byte key entry).
+func (b pairBag) footprintBytes() int { return len(b) * 24 }

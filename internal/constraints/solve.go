@@ -1,0 +1,243 @@
+package constraints
+
+import (
+	"runtime"
+	"time"
+
+	"fx10/internal/intset"
+	"fx10/internal/syntax"
+	"fx10/internal/types"
+)
+
+// Options configures constraint solving.
+type Options struct {
+	// Monolithic disables the paper's three-phase optimization
+	// (Section 5.3) and instead iterates level-1 and level-2
+	// constraints together until a joint fixpoint, re-evaluating
+	// cross terms every pass. Kept as an ablation baseline; results
+	// are identical, time is worse.
+	Monolithic bool
+	// Worklist replaces the pass-based iteration with a worklist
+	// that re-evaluates only constraints whose inputs changed
+	// (still phased). Results are identical; Evaluations is
+	// reported instead of pass counts. Mutually exclusive with
+	// Monolithic (Worklist wins).
+	Worklist bool
+}
+
+// Solution is a least solution of a System, with solver metrics.
+type Solution struct {
+	sys *System
+
+	setVals  []*intset.Set
+	pairVals []pairBag
+
+	// IterSlabels, IterL1 and IterL2 are the fixpoint pass counts of
+	// the three phases (each includes the final, no-change pass). In
+	// monolithic mode IterL1 == IterL2 == joint pass count; in
+	// worklist mode they stay zero and Evaluations counts constraint
+	// re-evaluations instead.
+	IterSlabels int
+	IterL1      int
+	IterL2      int
+	// Evaluations counts individual constraint evaluations in
+	// worklist mode.
+	Evaluations int64
+
+	// Duration is the wall time of Solve (constraint solving only;
+	// see internal/experiments for end-to-end pipeline timing).
+	Duration time.Duration
+
+	// AllocBytes is the heap allocated during Solve (runtime
+	// TotalAlloc delta): a machine-independent proxy for the space
+	// column of Figure 8.
+	AllocBytes uint64
+
+	// FootprintBytes estimates the memory retained by the solved
+	// valuation itself.
+	FootprintBytes int
+}
+
+// Solve computes the least solution of the system (Theorem 5: the
+// constraints define a monotone function on a finite lattice, so a
+// least fixpoint exists; we reach it by accumulating iteration from
+// the bottom valuation).
+func (s *System) Solve(opts Options) *Solution {
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+
+	n := s.P.NumLabels()
+	sol := &Solution{
+		sys:         s,
+		setVals:     make([]*intset.Set, len(s.SetVarNames)),
+		pairVals:    make([]pairBag, len(s.PairVarNames)),
+		IterSlabels: s.Info.Iterations,
+	}
+	for i := range sol.setVals {
+		sol.setVals[i] = intset.New(n)
+	}
+	for i := range sol.pairVals {
+		sol.pairVals[i] = pairBag{}
+	}
+
+	switch {
+	case opts.Worklist:
+		sol.solveL1Worklist()
+		sol.solveL2Worklist()
+	case opts.Monolithic:
+		sol.solveMonolithic()
+	default:
+		sol.solveL1()
+		sol.solveL2()
+	}
+
+	sol.Duration = time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	sol.AllocBytes = ms1.TotalAlloc - ms0.TotalAlloc
+	// Dense sets: words × 8 bytes each (plus header); sparse bags:
+	// estimated per entry.
+	sol.FootprintBytes += len(sol.setVals) * ((n+63)/64*8 + 24)
+	for _, b := range sol.pairVals {
+		sol.FootprintBytes += b.footprintBytes()
+	}
+	return sol
+}
+
+// l1Pass applies every level-1 constraint once (Gauss–Seidel with
+// union accumulation, which preserves the least fixpoint because all
+// right-hand sides are monotone unions) and reports change.
+func (sol *Solution) l1Pass() bool {
+	s := sol.sys
+	changed := false
+	for _, c := range s.L1s {
+		lhs := sol.setVals[c.LHS]
+		if c.Const != nil && lhs.UnionWith(c.Const) {
+			changed = true
+		}
+		for _, v := range c.Vars {
+			if lhs.UnionWith(sol.setVals[v]) {
+				changed = true
+			}
+		}
+	}
+	for _, c := range s.Subsets {
+		if sol.setVals[c.Sup].UnionWith(sol.setVals[c.Sub]) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (sol *Solution) solveL1() {
+	for {
+		sol.IterL1++
+		if !sol.l1Pass() {
+			return
+		}
+	}
+}
+
+// l2Pass applies every level-2 constraint once against the current
+// valuation. evalCrosses selects whether cross terms are re-evaluated
+// (monolithic mode) or assumed already folded into the pair values.
+func (sol *Solution) l2Pass(evalCrosses bool) bool {
+	s := sol.sys
+	changed := false
+	for _, c := range s.L2s {
+		lhs := sol.pairVals[c.LHS]
+		if evalCrosses {
+			for _, ct := range c.Crosses {
+				if lhs.crossSym(ct.Const, sol.setVals[ct.Var]) {
+					changed = true
+				}
+			}
+		}
+		for _, v := range c.Pairs {
+			if lhs.unionWith(sol.pairVals[v]) {
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+func (sol *Solution) solveL2() {
+	// Phase 3 of Section 5.3: with level-1 solved, every cross term
+	// is a constant pair set; fold them in once, then iterate pure
+	// m-variable unions.
+	for _, c := range sol.sys.L2s {
+		lhs := sol.pairVals[c.LHS]
+		for _, ct := range c.Crosses {
+			lhs.crossSym(ct.Const, sol.setVals[ct.Var])
+		}
+	}
+	for {
+		sol.IterL2++
+		if !sol.l2Pass(false) {
+			return
+		}
+	}
+}
+
+func (sol *Solution) solveMonolithic() {
+	for {
+		sol.IterL1++
+		sol.IterL2++
+		c1 := sol.l1Pass()
+		c2 := sol.l2Pass(true)
+		if !c1 && !c2 {
+			return
+		}
+	}
+}
+
+// SetValue returns the solved value of a set variable (shared; do not
+// mutate).
+func (sol *Solution) SetValue(v SetVar) *intset.Set { return sol.setVals[v] }
+
+// PairValue returns the solved value of a pair variable as a dense
+// pair set (fresh copy).
+func (sol *Solution) PairValue(v PairVar) *intset.PairSet {
+	return sol.pairVals[v].toPairSet(sol.sys.P.NumLabels())
+}
+
+// PairLen returns the number of ordered pairs in a pair variable
+// without densifying it.
+func (sol *Solution) PairLen(v PairVar) int { return len(sol.pairVals[v]) }
+
+// StmtR returns the solved r_s for a statement node.
+func (sol *Solution) StmtR(st *syntax.Stmt) *intset.Set { return sol.setVals[sol.sys.StmtR[st]] }
+
+// StmtO returns the solved o_s for a statement node.
+func (sol *Solution) StmtO(st *syntax.Stmt) *intset.Set { return sol.setVals[sol.sys.StmtO[st]] }
+
+// StmtM returns the solved m_s for a statement node (fresh dense set).
+func (sol *Solution) StmtM(st *syntax.Stmt) *intset.PairSet {
+	return sol.PairValue(sol.sys.StmtM[st])
+}
+
+// MethodSummary returns the solved (mᵢ, oᵢ) for a method as a type
+// summary.
+func (sol *Solution) MethodSummary(mi int) types.Summary {
+	return types.Summary{
+		M: sol.PairValue(sol.sys.MethodM[mi]),
+		O: sol.setVals[sol.sys.MethodO[mi]].Clone(),
+	}
+}
+
+// Env converts the solved method summaries to a type environment, the
+// "φ extends E" direction of Theorem 4.
+func (sol *Solution) Env() types.Env {
+	env := make(types.Env, len(sol.sys.P.Methods))
+	for i := range env {
+		env[i] = sol.MethodSummary(i)
+	}
+	return env
+}
+
+// MainM returns the solved m variable of the main method: by
+// Theorem 3 a conservative approximation of MHP(p).
+func (sol *Solution) MainM() *intset.PairSet {
+	return sol.PairValue(sol.sys.MethodM[sol.sys.P.MainIndex])
+}

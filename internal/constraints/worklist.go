@@ -1,0 +1,124 @@
+package constraints
+
+// Worklist solving: instead of full Gauss–Seidel passes (the paper's
+// "iterative data flow" style, Section 5.2), re-evaluate only the
+// constraints whose inputs changed. The least solution is identical;
+// the work is proportional to the number of useful re-evaluations,
+// which the Solution records in Evaluations. Kept alongside the
+// pass-based solver as an ablation (see BenchmarkSolverWorklist).
+
+// solveL1Worklist computes the level-1 least solution with a
+// worklist.
+func (sol *Solution) solveL1Worklist() {
+	s := sol.sys
+	// constraint ids: 0..len(L1s)-1 are equalities, then subsets.
+	total := len(s.L1s) + len(s.Subsets)
+	// dependents[v] lists the constraints that read set variable v.
+	dependents := make([][]int32, len(s.SetVarNames))
+	for ci, c := range s.L1s {
+		for _, v := range c.Vars {
+			dependents[v] = append(dependents[v], int32(ci))
+		}
+	}
+	for si, c := range s.Subsets {
+		dependents[c.Sub] = append(dependents[c.Sub], int32(len(s.L1s)+si))
+	}
+
+	queue := make([]int32, 0, total)
+	inQueue := make([]bool, total)
+	for i := 0; i < total; i++ {
+		queue = append(queue, int32(i))
+		inQueue[i] = true
+	}
+	push := func(ci int32) {
+		if !inQueue[ci] {
+			inQueue[ci] = true
+			queue = append(queue, ci)
+		}
+	}
+
+	for len(queue) > 0 {
+		ci := queue[0]
+		queue = queue[1:]
+		inQueue[ci] = false
+		sol.Evaluations++
+
+		var lhs SetVar
+		changed := false
+		if int(ci) < len(s.L1s) {
+			c := s.L1s[ci]
+			lhs = c.LHS
+			dst := sol.setVals[lhs]
+			if c.Const != nil && dst.UnionWith(c.Const) {
+				changed = true
+			}
+			for _, v := range c.Vars {
+				if dst.UnionWith(sol.setVals[v]) {
+					changed = true
+				}
+			}
+		} else {
+			c := s.Subsets[int(ci)-len(s.L1s)]
+			lhs = c.Sup
+			changed = sol.setVals[lhs].UnionWith(sol.setVals[c.Sub])
+		}
+		if changed {
+			for _, d := range dependents[lhs] {
+				push(d)
+			}
+		}
+	}
+}
+
+// solveL2Worklist computes the level-2 least solution with a
+// worklist; cross terms are folded in once (level-1 is already
+// solved), then only pair-variable unions propagate.
+func (sol *Solution) solveL2Worklist() {
+	s := sol.sys
+	dependents := make([][]int32, len(s.PairVarNames))
+	for ci, c := range s.L2s {
+		for _, v := range c.Pairs {
+			dependents[v] = append(dependents[v], int32(ci))
+		}
+	}
+	queue := make([]int32, 0, len(s.L2s))
+	inQueue := make([]bool, len(s.L2s))
+	push := func(ci int32) {
+		if !inQueue[ci] {
+			inQueue[ci] = true
+			queue = append(queue, ci)
+		}
+	}
+
+	// Fold the constant cross terms and seed the queue with every
+	// constraint whose seed changed something (plus all constraints
+	// once, so pure-union chains fire).
+	for ci, c := range s.L2s {
+		lhs := sol.pairVals[c.LHS]
+		for _, ct := range c.Crosses {
+			lhs.crossSym(ct.Const, sol.setVals[ct.Var])
+		}
+		push(int32(ci))
+	}
+
+	for len(queue) > 0 {
+		ci := queue[0]
+		queue = queue[1:]
+		inQueue[ci] = false
+		sol.Evaluations++
+
+		c := s.L2s[ci]
+		lhs := sol.pairVals[c.LHS]
+		changed := false
+		for _, v := range c.Pairs {
+			if lhs.unionWith(sol.pairVals[v]) {
+				changed = true
+			}
+		}
+		if changed {
+			for _, d := range dependents[c.LHS] {
+				push(d)
+			}
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"fx10/internal/constraints"
+	"fx10/internal/labels"
+	"fx10/internal/syntax"
+)
+
+// The scaling study backs the paper's Section 5.2 complexity
+// discussion: the solver is O(n^6) in the worst case, but the
+// observed behaviour on benchmark-shaped programs is far tamer. Three
+// size-parameterized families probe it:
+//
+//   - chain(n): a depth-n call chain, one async per method — method
+//     summaries propagate the full chain;
+//   - wide(n): n consecutive asyncs in one method — the MHP relation
+//     itself is Θ(n²) pairs, a lower bound for any solver;
+//   - loops(n): n loop asyncs in separate finish-wrapped phases — the
+//     benchmark-shaped common case with small pair sets.
+
+// ScalingRow is one measurement.
+type ScalingRow struct {
+	Family string
+	Size   int
+	Labels int
+	Pairs  int // ordered pairs in main's solved m
+	TimeMS float64
+}
+
+// ChainProgram builds the chain family.
+func ChainProgram(n int) *syntax.Program {
+	b := syntax.NewBuilder(2)
+	for i := n - 1; i >= 0; i-- {
+		instrs := []syntax.Instr{
+			b.Async("", b.Stmts(b.Skip(""))),
+		}
+		if i+1 < n {
+			instrs = append(instrs, b.Call("", fmt.Sprintf("f%d", i+1)))
+		}
+		instrs = append(instrs, b.Skip(""))
+		b.MustAddMethod(fmt.Sprintf("f%d", i), b.Stmts(instrs...))
+	}
+	b.MustAddMethod("main", b.Stmts(b.Call("", "f0"), b.Skip("")))
+	return b.MustProgram()
+}
+
+// WideProgram builds the wide family.
+func WideProgram(n int) *syntax.Program {
+	b := syntax.NewBuilder(2)
+	instrs := make([]syntax.Instr, 0, n+1)
+	for i := 0; i < n; i++ {
+		instrs = append(instrs, b.Async("", b.Stmts(b.Skip(""))))
+	}
+	instrs = append(instrs, b.Skip(""))
+	b.MustAddMethod("main", b.Stmts(instrs...))
+	return b.MustProgram()
+}
+
+// LoopsProgram builds the benchmark-shaped family.
+func LoopsProgram(n int) *syntax.Program {
+	b := syntax.NewBuilder(2)
+	instrs := make([]syntax.Instr, 0, n)
+	for i := 0; i < n; i++ {
+		loop := b.While("", 0, b.Stmts(
+			b.Async("", b.Stmts(b.Skip(""))),
+		))
+		instrs = append(instrs, b.Finish("", b.Stmts(loop)))
+	}
+	b.MustAddMethod("main", b.Stmts(instrs...))
+	return b.MustProgram()
+}
+
+// measure runs the full inference pipeline on one program.
+func measure(family string, size int, p *syntax.Program) ScalingRow {
+	start := time.Now()
+	in := labels.Compute(p)
+	sol := constraints.Generate(in, constraints.ContextSensitive).Solve(constraints.Options{})
+	elapsed := time.Since(start)
+	return ScalingRow{
+		Family: family,
+		Size:   size,
+		Labels: p.NumLabels(),
+		Pairs:  sol.MainM().Len(),
+		TimeMS: float64(elapsed.Microseconds()) / 1000.0,
+	}
+}
+
+// Scaling measures all three families at the given sizes.
+func Scaling(sizes []int) []ScalingRow {
+	var rows []ScalingRow
+	for _, n := range sizes {
+		rows = append(rows, measure("chain", n, ChainProgram(n)))
+	}
+	for _, n := range sizes {
+		rows = append(rows, measure("wide", n, WideProgram(n)))
+	}
+	for _, n := range sizes {
+		rows = append(rows, measure("loops", n, LoopsProgram(n)))
+	}
+	return rows
+}
+
+// DefaultScalingSizes is what cmd/mhpbench sweeps. The adversarial
+// families grow polynomially (chain(400) alone takes minutes), so the
+// default sweep stops at 200 and the study is opt-in
+// (-figure scaling) rather than part of -figure all.
+var DefaultScalingSizes = []int{25, 50, 100, 200}
+
+// FormatScaling renders the rows with per-step growth exponents
+// (log(time ratio)/log(size ratio) between consecutive sizes of one
+// family): the empirical counterpart of the O(n^6) worst-case bound.
+func FormatScaling(rows []ScalingRow) string {
+	var b strings.Builder
+	tw := newTable(&b, "family", "n", "labels", "pairs", "time(ms)", "growth-exp")
+	var prev *ScalingRow
+	for i := range rows {
+		r := rows[i]
+		exp := "-"
+		if prev != nil && prev.Family == r.Family && prev.TimeMS > 0 && r.TimeMS > 0 {
+			e := math.Log(r.TimeMS/prev.TimeMS) / math.Log(float64(r.Size)/float64(prev.Size))
+			exp = fmt.Sprintf("%.2f", e)
+		}
+		tw.row(r.Family, fmt.Sprint(r.Size), fmt.Sprint(r.Labels), fmt.Sprint(r.Pairs),
+			fmt.Sprintf("%.2f", r.TimeMS), exp)
+		prev = &rows[i]
+	}
+	tw.flush()
+	b.WriteString("(growth-exp ≈ d means time ~ n^d on that step; the paper's worst case is d = 6)\n")
+	return b.String()
+}

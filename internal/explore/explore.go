@@ -1,0 +1,134 @@
+// Package explore computes the exact may-happen-in-parallel relation
+// of small FX10 programs by exhaustive state-space exploration:
+//
+//	MHP(p) = ∪ { parallel(T) | (p, A₀, ⟨s₀⟩) →* (p, A, T) }
+//
+// which is the ground truth the type system conservatively
+// approximates (Theorem 3). Exploration enumerates every interleaving
+// with state deduplication, so it is exponential and only feasible
+// for small programs — exactly its role in the paper's Section 6,
+// where exact information is what false positives are counted
+// against.
+package explore
+
+import (
+	"fx10/internal/intset"
+	"fx10/internal/labels"
+	"fx10/internal/machine"
+	"fx10/internal/syntax"
+	"fx10/internal/tree"
+)
+
+// Result is the outcome of an exploration.
+type Result struct {
+	// MHP is the union of parallel(T) over all visited states.
+	MHP *intset.PairSet
+	// States is the number of distinct states visited.
+	States int
+	// Steps is the number of transitions examined.
+	Steps int
+	// Complete reports whether the full reachable state space was
+	// visited. When false (budget exhausted), MHP is a lower bound on
+	// the exact relation.
+	Complete bool
+	// Terminated reports whether some visited state had T = √.
+	Terminated bool
+	// ProgressViolations counts visited states that violate Theorem 1
+	// (always 0 unless the machine is broken); kept as a cheap,
+	// always-on oracle.
+	ProgressViolations int
+}
+
+// MHP explores the state space of p from the initial array a0 (nil
+// means all zeros), visiting at most maxStates distinct states.
+func MHP(p *syntax.Program, a0 []int64, maxStates int) Result {
+	return MHPWithInfo(labels.Compute(p), p, a0, maxStates)
+}
+
+// MHPWithInfo is MHP with a caller-provided Slabels fixpoint, so
+// callers that already computed one (e.g. the analysis pipeline)
+// can share it.
+func MHPWithInfo(in *labels.Info, p *syntax.Program, a0 []int64, maxStates int) Result {
+	res := Result{MHP: intset.NewPairs(p.NumLabels())}
+	start := machine.Initial(p, a0)
+
+	type keyed struct {
+		st  machine.State
+		key string
+	}
+	stateKey := func(st machine.State) string {
+		return st.A.Key() + "|" + tree.Key(st.T)
+	}
+
+	seen := map[string]bool{}
+	frontier := []keyed{{st: start, key: stateKey(start)}}
+	seen[frontier[0].key] = true
+
+	for len(frontier) > 0 {
+		cur := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		res.States++
+
+		res.MHP.UnionWith(in.Parallel(cur.st.T))
+		if cur.st.T.Done() {
+			res.Terminated = true
+		}
+
+		succ := machine.Successors(p, cur.st)
+		if len(succ) == 0 && !cur.st.T.Done() {
+			res.ProgressViolations++
+		}
+		res.Steps += len(succ)
+		for _, s := range succ {
+			k := stateKey(s)
+			if seen[k] {
+				continue
+			}
+			if res.States+len(frontier) >= maxStates {
+				res.Complete = false
+				return res
+			}
+			seen[k] = true
+			frontier = append(frontier, keyed{st: s, key: k})
+		}
+	}
+	res.Complete = true
+	return res
+}
+
+// ReachableFinals explores the state space like MHP and returns the
+// distinct final arrays of every terminated execution (keyed by their
+// canonical string). Useful for checking schedule-dependence of
+// results (data races) and for differential testing against the
+// goroutine runtime. The bool result reports completeness.
+func ReachableFinals(p *syntax.Program, a0 []int64, maxStates int) (map[string]machine.Array, bool) {
+	finals := map[string]machine.Array{}
+	start := machine.Initial(p, a0)
+	stateKey := func(st machine.State) string {
+		return st.A.Key() + "|" + tree.Key(st.T)
+	}
+	seen := map[string]bool{stateKey(start): true}
+	frontier := []machine.State{start}
+	visited := 0
+	for len(frontier) > 0 {
+		cur := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		visited++
+		if cur.T.Done() {
+			finals[cur.A.Key()] = cur.A
+			continue
+		}
+		for _, s := range machine.Successors(p, cur) {
+			k := stateKey(s)
+			if seen[k] {
+				continue
+			}
+			if visited+len(frontier) >= maxStates {
+				return finals, false
+			}
+			seen[k] = true
+			frontier = append(frontier, s)
+		}
+	}
+	return finals, true
+}

@@ -1,0 +1,88 @@
+// Package fixtures holds the paper's worked example programs in
+// concrete FX10 syntax, shared by tests, examples and benchmarks
+// across the repository.
+package fixtures
+
+import (
+	"fx10/internal/parser"
+	"fx10/internal/syntax"
+)
+
+// Example21Source is the program of Section 2.1 (the intraprocedural
+// example adapted from Agarwal et al., PPoPP 2007, Figure 4),
+// reconstructed from the constraint system the paper lists in
+// Figure 5: the statement-level constraint variables there pin down
+// the program shape (S0 and S13 are finishes, S1, S6 and S7 are
+// asyncs with bodies S13…, S11 and S12 respectively).
+//
+// The paper's expected analysis output for this program:
+//
+//	S2 may happen in parallel with S5, S6, S7, S8, S11, S12 and the
+//	inner finish S13; S11 may happen in parallel with S12; S7 may
+//	happen in parallel with S11 — and nothing else.
+const Example21Source = `
+array 4;
+
+void main() {
+  S0: finish {
+    S1: async {
+      S13: finish {
+        S5: skip;
+        S6: async { S11: skip; }
+        S7: async { S12: skip; }
+      }
+      S8: skip;
+    }
+    S2: skip;
+  }
+  S3: skip;
+}
+`
+
+// Example21MHP lists the paper's expected may-happen-in-parallel
+// label pairs for Example21Source (unordered; the analysis result is
+// their symmetric closure and nothing more).
+var Example21MHP = [][2]string{
+	{"S2", "S5"}, {"S2", "S6"}, {"S2", "S7"}, {"S2", "S8"},
+	{"S2", "S11"}, {"S2", "S12"}, {"S2", "S13"},
+	{"S11", "S12"}, {"S7", "S11"},
+}
+
+// Example22Source is the program of Section 2.2 (the modular
+// interprocedural example). A3/A4/A5 label the async instructions
+// whose bodies are S3/S4/S5, and C1/C2 label the two calls to f.
+const Example22Source = `
+array 4;
+
+void f() {
+  A5: async { S5: skip; }
+}
+
+void main() {
+  S1: finish {
+    A3: async { S3: skip; }
+    C1: f();
+  }
+  S2: finish {
+    C2: f();
+    A4: async { S4: skip; }
+  }
+}
+`
+
+// Example22MHP lists the paper's expected may-happen-in-parallel
+// label pairs for Example22Source: "S5 may happen in parallel with
+// each of S3, async S4, and S4, and S3 may also happen in parallel
+// with the first call f() and with async S5" — and nothing else. In
+// particular (S3, S4) must NOT be present (that pair is the false
+// positive the context-insensitive analysis produces).
+var Example22MHP = [][2]string{
+	{"S5", "S3"}, {"S5", "A4"}, {"S5", "S4"},
+	{"S3", "C1"}, {"S3", "A5"},
+}
+
+// Example21 parses Example21Source.
+func Example21() *syntax.Program { return parser.MustParse(Example21Source) }
+
+// Example22 parses Example22Source.
+func Example22() *syntax.Program { return parser.MustParse(Example22Source) }

@@ -1,0 +1,239 @@
+// Package intset provides dense bit-vector sets over a fixed universe
+// {0, …, n-1} of small integers, plus a companion pair-set over the
+// universe {0, …, n-1} × {0, …, n-1}.
+//
+// The may-happen-in-parallel analysis of Featherweight X10 manipulates
+// sets of statement labels (R and O sets) and sets of label pairs
+// (M sets). Lee and Palsberg's complexity argument (Section 5.2 of the
+// paper) assumes bit-vector sets so that a union is O(n) or O(n^2) word
+// operations; this package is that representation.
+//
+// Sets are mutable. The zero value is not useful; construct sets with
+// New and pair sets with NewPairs. All sets participating in one
+// analysis must share the same universe size.
+package intset
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+const wordBits = 64
+
+// wordsFor returns the number of 64-bit words needed for n bits.
+func wordsFor(n int) int {
+	return (n + wordBits - 1) / wordBits
+}
+
+// Set is a dense bit-vector set over the universe {0, …, n-1}.
+type Set struct {
+	n     int
+	words []uint64
+}
+
+// New returns an empty set over the universe {0, …, n-1}.
+// It panics if n is negative.
+func New(n int) *Set {
+	if n < 0 {
+		panic(fmt.Sprintf("intset: negative universe size %d", n))
+	}
+	return &Set{n: n, words: make([]uint64, wordsFor(n))}
+}
+
+// Of returns a set over the universe {0, …, n-1} containing the given
+// elements.
+func Of(n int, elems ...int) *Set {
+	s := New(n)
+	for _, e := range elems {
+		s.Add(e)
+	}
+	return s
+}
+
+// Universe returns the universe size n the set was created with.
+func (s *Set) Universe() int { return s.n }
+
+// check panics if e is outside the universe.
+func (s *Set) check(e int) {
+	if e < 0 || e >= s.n {
+		panic(fmt.Sprintf("intset: element %d outside universe [0,%d)", e, s.n))
+	}
+}
+
+// Add inserts e into the set and reports whether the set changed.
+func (s *Set) Add(e int) bool {
+	s.check(e)
+	w, b := e/wordBits, uint(e%wordBits)
+	old := s.words[w]
+	s.words[w] = old | (1 << b)
+	return s.words[w] != old
+}
+
+// Remove deletes e from the set and reports whether the set changed.
+func (s *Set) Remove(e int) bool {
+	s.check(e)
+	w, b := e/wordBits, uint(e%wordBits)
+	old := s.words[w]
+	s.words[w] = old &^ (1 << b)
+	return s.words[w] != old
+}
+
+// Has reports whether e is in the set.
+func (s *Set) Has(e int) bool {
+	if e < 0 || e >= s.n {
+		return false
+	}
+	return s.words[e/wordBits]&(1<<uint(e%wordBits)) != 0
+}
+
+// UnionWith adds every element of t to s and reports whether s changed.
+// The sets must share a universe size.
+func (s *Set) UnionWith(t *Set) bool {
+	s.sameUniverse(t)
+	changed := false
+	for i, w := range t.words {
+		old := s.words[i]
+		nw := old | w
+		if nw != old {
+			s.words[i] = nw
+			changed = true
+		}
+	}
+	return changed
+}
+
+// IntersectWith removes from s every element not in t and reports
+// whether s changed.
+func (s *Set) IntersectWith(t *Set) bool {
+	s.sameUniverse(t)
+	changed := false
+	for i, w := range t.words {
+		old := s.words[i]
+		nw := old & w
+		if nw != old {
+			s.words[i] = nw
+			changed = true
+		}
+	}
+	return changed
+}
+
+// DifferenceWith removes every element of t from s and reports whether
+// s changed.
+func (s *Set) DifferenceWith(t *Set) bool {
+	s.sameUniverse(t)
+	changed := false
+	for i, w := range t.words {
+		old := s.words[i]
+		nw := old &^ w
+		if nw != old {
+			s.words[i] = nw
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (s *Set) sameUniverse(t *Set) {
+	if s.n != t.n {
+		panic(fmt.Sprintf("intset: mismatched universes %d and %d", s.n, t.n))
+	}
+}
+
+// Clone returns an independent copy of s.
+func (s *Set) Clone() *Set {
+	c := &Set{n: s.n, words: make([]uint64, len(s.words))}
+	copy(c.words, s.words)
+	return c
+}
+
+// Clear removes all elements.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Len returns the number of elements in the set.
+func (s *Set) Len() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Empty reports whether the set has no elements.
+func (s *Set) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether s and t contain the same elements.
+func (s *Set) Equal(t *Set) bool {
+	s.sameUniverse(t)
+	for i, w := range s.words {
+		if w != t.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether every element of s is in t.
+func (s *Set) SubsetOf(t *Set) bool {
+	s.sameUniverse(t)
+	for i, w := range s.words {
+		if w&^t.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Each calls f on every element in increasing order.
+func (s *Set) Each(f func(e int)) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			f(wi*wordBits + b)
+			w &= w - 1
+		}
+	}
+}
+
+// Elems returns the elements of s in increasing order.
+func (s *Set) Elems() []int {
+	out := make([]int, 0, s.Len())
+	s.Each(func(e int) { out = append(out, e) })
+	return out
+}
+
+// String renders the set as "{e1, e2, …}" in increasing element order.
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.Each(func(e int) {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", e)
+	})
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Sorted is a convenience for tests: the elements as a sorted slice.
+func (s *Set) Sorted() []int {
+	e := s.Elems()
+	sort.Ints(e)
+	return e
+}

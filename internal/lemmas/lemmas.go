@@ -1,0 +1,78 @@
+// Package lemmas provides random generators for the structures the
+// paper's appendix quantifies over — label sets, statements, and
+// execution trees — so that the lemmas of Appendix B can be checked
+// as executable properties. The checks themselves live in this
+// package's test suite; think of it as a lightweight mechanization of
+// the paper's proof artifacts: every helper-function law of Lemma 7
+// and the typing lemmas 12–15 are exercised against randomized
+// inputs, and the inductive theorems (preservation, soundness) are
+// exercised along executions in internal/progen.
+package lemmas
+
+import (
+	"math/rand"
+
+	"fx10/internal/intset"
+	"fx10/internal/syntax"
+	"fx10/internal/tree"
+)
+
+// RandomSet returns a random label set over the program's universe.
+func RandomSet(rng *rand.Rand, p *syntax.Program) *intset.Set {
+	n := p.NumLabels()
+	s := intset.New(n)
+	for i := 0; i < rng.Intn(n+1); i++ {
+		s.Add(rng.Intn(n))
+	}
+	return s
+}
+
+// stmts collects every statement suffix of the program: each method
+// body, every tail position, and every nested body. These are exactly
+// the statements that occur during execution, modulo Seq compositions
+// (which RandomStmt adds).
+func stmts(p *syntax.Program) []*syntax.Stmt {
+	var out []*syntax.Stmt
+	var walk func(s *syntax.Stmt)
+	walk = func(s *syntax.Stmt) {
+		for cur := s; cur != nil; cur = cur.Next {
+			out = append(out, cur)
+			if b := syntax.Body(cur.Instr); b != nil {
+				walk(b)
+			}
+		}
+	}
+	for _, m := range p.Methods {
+		walk(m.Body)
+	}
+	return out
+}
+
+// RandomStmt returns a random statement: a suffix of the program, or
+// a Seq composition of two such suffixes (as the while and call rules
+// produce at run time).
+func RandomStmt(rng *rand.Rand, p *syntax.Program) *syntax.Stmt {
+	all := stmts(p)
+	s := all[rng.Intn(len(all))]
+	if rng.Intn(3) == 0 {
+		s = syntax.Seq(s, all[rng.Intn(len(all))])
+	}
+	return s
+}
+
+// RandomTree returns a random execution tree of bounded depth whose
+// leaves are random statements of the program.
+func RandomTree(rng *rand.Rand, p *syntax.Program, depth int) tree.Tree {
+	if depth <= 0 || rng.Intn(4) == 0 {
+		if rng.Intn(4) == 0 {
+			return tree.Done
+		}
+		return tree.NewLeaf(RandomStmt(rng, p))
+	}
+	l := RandomTree(rng, p, depth-1)
+	r := RandomTree(rng, p, depth-1)
+	if rng.Intn(2) == 0 {
+		return &tree.Fin{L: l, R: r}
+	}
+	return &tree.Par{L: l, R: r}
+}

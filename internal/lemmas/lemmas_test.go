@@ -1,0 +1,393 @@
+package lemmas
+
+import (
+	"math/rand"
+	"testing"
+
+	"fx10/internal/intset"
+	"fx10/internal/labels"
+	"fx10/internal/machine"
+	"fx10/internal/progen"
+	"fx10/internal/syntax"
+	"fx10/internal/tree"
+	"fx10/internal/types"
+)
+
+// fixture bundles a random program with its analysis artifacts.
+type fixture struct {
+	p   *syntax.Program
+	in  *labels.Info
+	c   *types.Checker
+	env types.Env
+	rng *rand.Rand
+}
+
+// fixtures builds several random full-calculus programs.
+func fixtures(t *testing.T, count int) []*fixture {
+	t.Helper()
+	var out []*fixture
+	for seed := int64(0); seed < int64(count); seed++ {
+		p := progen.Generate(seed, progen.Default())
+		in := labels.Compute(p)
+		c := types.NewChecker(in)
+		out = append(out, &fixture{
+			p: p, in: in, c: c, env: c.Infer().Env,
+			rng: rand.New(rand.NewSource(seed * 31)),
+		})
+	}
+	return out
+}
+
+// symcross is the reference definition, equation (37).
+func symcross(n int, a, b *intset.Set) *intset.PairSet {
+	out := intset.NewPairs(n)
+	out.CrossSym(a, b)
+	return out
+}
+
+// Lemma 7.1: symcross(A, B) = symcross(B, A).
+func TestLemma7_1(t *testing.T) {
+	for _, f := range fixtures(t, 5) {
+		n := f.p.NumLabels()
+		for i := 0; i < 20; i++ {
+			a, b := RandomSet(f.rng, f.p), RandomSet(f.rng, f.p)
+			if !symcross(n, a, b).Equal(symcross(n, b, a)) {
+				t.Fatalf("symcross not commutative")
+			}
+		}
+	}
+}
+
+// Lemma 7.2: A′ ⊆ A ∧ B′ ⊆ B ⇒ symcross(A′, B′) ⊆ symcross(A, B).
+func TestLemma7_2(t *testing.T) {
+	for _, f := range fixtures(t, 5) {
+		n := f.p.NumLabels()
+		for i := 0; i < 20; i++ {
+			a, b := RandomSet(f.rng, f.p), RandomSet(f.rng, f.p)
+			aSub, bSub := a.Clone(), b.Clone()
+			aSub.IntersectWith(RandomSet(f.rng, f.p))
+			bSub.IntersectWith(RandomSet(f.rng, f.p))
+			if !symcross(n, aSub, bSub).SubsetOf(symcross(n, a, b)) {
+				t.Fatalf("symcross not monotone")
+			}
+		}
+	}
+}
+
+// Lemma 7.3: symcross(A,C) ∪ symcross(B,C) = symcross(A ∪ B, C).
+func TestLemma7_3(t *testing.T) {
+	for _, f := range fixtures(t, 5) {
+		n := f.p.NumLabels()
+		for i := 0; i < 20; i++ {
+			a, b, c := RandomSet(f.rng, f.p), RandomSet(f.rng, f.p), RandomSet(f.rng, f.p)
+			lhs := symcross(n, a, c)
+			lhs.UnionWith(symcross(n, b, c))
+			ab := a.Clone()
+			ab.UnionWith(b)
+			if !lhs.Equal(symcross(n, ab, c)) {
+				t.Fatalf("symcross does not distribute over union")
+			}
+		}
+	}
+}
+
+// Lemmas 7.4 and 7.5: Lcross and Scross distribute over set union.
+func TestLemma7_4And7_5(t *testing.T) {
+	for _, f := range fixtures(t, 5) {
+		n := f.p.NumLabels()
+		for i := 0; i < 20; i++ {
+			a, b := RandomSet(f.rng, f.p), RandomSet(f.rng, f.p)
+			l := syntax.Label(f.rng.Intn(n))
+			ab := a.Clone()
+			ab.UnionWith(b)
+
+			union := intset.NewPairs(n)
+			f.in.AddLcross(union, l, a)
+			f.in.AddLcross(union, l, b)
+			joint := intset.NewPairs(n)
+			f.in.AddLcross(joint, l, ab)
+			if !union.Equal(joint) {
+				t.Fatalf("Lcross does not distribute over union")
+			}
+
+			s := RandomStmt(f.rng, f.p)
+			union2 := intset.NewPairs(n)
+			f.in.AddScross(union2, s, a)
+			f.in.AddScross(union2, s, b)
+			joint2 := intset.NewPairs(n)
+			f.in.AddScross(joint2, s, ab)
+			if !union2.Equal(joint2) {
+				t.Fatalf("Scross does not distribute over union")
+			}
+		}
+	}
+}
+
+// Lemma 7.6: Scross(s1, Slabels(s2)) = Scross(s2, Slabels(s1)).
+func TestLemma7_6(t *testing.T) {
+	for _, f := range fixtures(t, 5) {
+		n := f.p.NumLabels()
+		for i := 0; i < 20; i++ {
+			s1, s2 := RandomStmt(f.rng, f.p), RandomStmt(f.rng, f.p)
+			a := intset.NewPairs(n)
+			f.in.AddScross(a, s1, f.in.Slabels(s2))
+			b := intset.NewPairs(n)
+			f.in.AddScross(b, s2, f.in.Slabels(s1))
+			if !a.Equal(b) {
+				t.Fatalf("Scross swap law violated")
+			}
+		}
+	}
+}
+
+// Lemmas 7.7–7.10: Tcross distributes over union, swaps through
+// Tlabels, is empty on √, and is monotone in R.
+func TestLemma7_7Through7_10(t *testing.T) {
+	for _, f := range fixtures(t, 5) {
+		n := f.p.NumLabels()
+		for i := 0; i < 15; i++ {
+			t1 := RandomTree(f.rng, f.p, 3)
+			t2 := RandomTree(f.rng, f.p, 3)
+			a, b := RandomSet(f.rng, f.p), RandomSet(f.rng, f.p)
+
+			// 7.7 distribution.
+			ab := a.Clone()
+			ab.UnionWith(b)
+			union := intset.NewPairs(n)
+			f.in.AddTcross(union, t1, a)
+			f.in.AddTcross(union, t1, b)
+			joint := intset.NewPairs(n)
+			f.in.AddTcross(joint, t1, ab)
+			if !union.Equal(joint) {
+				t.Fatalf("7.7: Tcross does not distribute")
+			}
+
+			// 7.8 swap.
+			x := intset.NewPairs(n)
+			f.in.AddTcross(x, t1, f.in.Tlabels(t2))
+			y := intset.NewPairs(n)
+			f.in.AddTcross(y, t2, f.in.Tlabels(t1))
+			if !x.Equal(y) {
+				t.Fatalf("7.8: Tcross swap law violated")
+			}
+
+			// 7.9 √.
+			z := intset.NewPairs(n)
+			f.in.AddTcross(z, tree.Done, a)
+			if !z.Empty() {
+				t.Fatalf("7.9: Tcross(√) not empty")
+			}
+
+			// 7.10 monotone.
+			sub := a.Clone()
+			sub.IntersectWith(b)
+			small := intset.NewPairs(n)
+			f.in.AddTcross(small, t1, sub)
+			big := intset.NewPairs(n)
+			f.in.AddTcross(big, t1, a)
+			if !small.SubsetOf(big) {
+				t.Fatalf("7.10: Tcross not monotone")
+			}
+		}
+	}
+}
+
+// Lemma 7.11: Slabels(s_a . s_b) = Slabels(s_a) ∪ Slabels(s_b).
+func TestLemma7_11(t *testing.T) {
+	for _, f := range fixtures(t, 5) {
+		for i := 0; i < 20; i++ {
+			sa, sb := RandomStmt(f.rng, f.p), RandomStmt(f.rng, f.p)
+			want := f.in.Slabels(sa).Clone()
+			want.UnionWith(f.in.Slabels(sb))
+			if !f.in.Slabels(syntax.Seq(sa, sb)).Equal(want) {
+				t.Fatalf("7.11 violated")
+			}
+		}
+	}
+}
+
+// Lemmas 7.12 and 7.13: first-label sets are contained in the full
+// label sets.
+func TestLemma7_12And7_13(t *testing.T) {
+	for _, f := range fixtures(t, 5) {
+		for i := 0; i < 20; i++ {
+			s := RandomStmt(f.rng, f.p)
+			if !f.in.FSlabels(s).SubsetOf(f.in.Slabels(s)) {
+				t.Fatalf("7.12 violated")
+			}
+			tr := RandomTree(f.rng, f.p, 3)
+			if !f.in.FTlabels(tr).SubsetOf(f.in.Tlabels(tr)) {
+				t.Fatalf("7.13 violated")
+			}
+		}
+	}
+}
+
+// Lemma 7.14: symcross(FTlabels(T1), FTlabels(T2)) ⊆
+// Tcross(T1, Tlabels(T2)).
+func TestLemma7_14(t *testing.T) {
+	for _, f := range fixtures(t, 5) {
+		n := f.p.NumLabels()
+		for i := 0; i < 20; i++ {
+			t1 := RandomTree(f.rng, f.p, 3)
+			t2 := RandomTree(f.rng, f.p, 3)
+			lhs := symcross(n, f.in.FTlabels(t1), f.in.FTlabels(t2))
+			rhs := intset.NewPairs(n)
+			f.in.AddTcross(rhs, t1, f.in.Tlabels(t2))
+			if !lhs.SubsetOf(rhs) {
+				t.Fatalf("7.14 violated")
+			}
+		}
+	}
+}
+
+// Lemma 7.15: a step never grows Tlabels. Random trees here include
+// shapes no execution reaches, which is a stronger check than tracing.
+func TestLemma7_15(t *testing.T) {
+	for _, f := range fixtures(t, 5) {
+		for i := 0; i < 15; i++ {
+			tr := RandomTree(f.rng, f.p, 3)
+			before := f.in.Tlabels(tr)
+			st := machine.State{A: make(machine.Array, f.p.ArrayLen), T: tr}
+			for _, succ := range machine.Successors(f.p, st) {
+				if !f.in.Tlabels(succ.T).SubsetOf(before) {
+					t.Fatalf("7.15: Tlabels grew across a step")
+				}
+			}
+		}
+	}
+}
+
+// Lemmas 7.16/7.17 specialize 7.11 + 7.3 to statements with a known
+// head; checking the general Scross decomposition covers them.
+func TestLemma7_16And7_17(t *testing.T) {
+	for _, f := range fixtures(t, 5) {
+		n := f.p.NumLabels()
+		for i := 0; i < 20; i++ {
+			s := RandomStmt(f.rng, f.p)
+			r := RandomSet(f.rng, f.p)
+			// Scross(s, R) = Lcross(head, R) ∪ Scross(tail/bodies, R):
+			// decompose via Slabels(s) = {head} ∪ rest.
+			full := intset.NewPairs(n)
+			f.in.AddScross(full, s, r)
+			head := s.Instr.Label()
+			rest := f.in.Slabels(s).Clone()
+			rest.Remove(int(head))
+			dec := intset.NewPairs(n)
+			f.in.AddLcross(dec, head, r)
+			dec.CrossSym(rest, r)
+			if !dec.Equal(full) {
+				t.Fatalf("7.16/7.17 decomposition violated")
+			}
+		}
+	}
+}
+
+// Lemma 7.18: Tcross(⟨s⟩, R) = Scross(s, R).
+func TestLemma7_18(t *testing.T) {
+	for _, f := range fixtures(t, 5) {
+		n := f.p.NumLabels()
+		for i := 0; i < 20; i++ {
+			s := RandomStmt(f.rng, f.p)
+			r := RandomSet(f.rng, f.p)
+			a := intset.NewPairs(n)
+			f.in.AddTcross(a, tree.NewLeaf(s), r)
+			b := intset.NewPairs(n)
+			f.in.AddScross(b, s, r)
+			if !a.Equal(b) {
+				t.Fatalf("7.18 violated")
+			}
+		}
+	}
+}
+
+// Lemma 7.19: Tcross decomposes over subtree label unions.
+func TestLemma7_19(t *testing.T) {
+	for _, f := range fixtures(t, 5) {
+		n := f.p.NumLabels()
+		for i := 0; i < 15; i++ {
+			t1 := RandomTree(f.rng, f.p, 2)
+			t2 := RandomTree(f.rng, f.p, 2)
+			r := RandomSet(f.rng, f.p)
+			for _, parent := range []tree.Tree{&tree.Fin{L: t1, R: t2}, &tree.Par{L: t1, R: t2}} {
+				whole := intset.NewPairs(n)
+				f.in.AddTcross(whole, parent, r)
+				parts := intset.NewPairs(n)
+				f.in.AddTcross(parts, t1, r)
+				f.in.AddTcross(parts, t2, r)
+				if !whole.Equal(parts) {
+					t.Fatalf("7.19 violated")
+				}
+			}
+		}
+	}
+}
+
+// Lemma 13 (principal typing for trees): p,E,R ⊢ T : M iff
+// M = Tcross(T, R) ∪ M′ where p,E,∅ ⊢ T : M′.
+func TestLemma13(t *testing.T) {
+	for _, f := range fixtures(t, 5) {
+		n := f.p.NumLabels()
+		empty := intset.New(n)
+		for i := 0; i < 15; i++ {
+			tr := RandomTree(f.rng, f.p, 3)
+			r := RandomSet(f.rng, f.p)
+			got := f.c.JudgeTree(f.env, r, tr)
+			want := f.c.JudgeTree(f.env, empty, tr)
+			f.in.AddTcross(want, tr, r)
+			if !got.Equal(want) {
+				t.Fatalf("Lemma 13 violated")
+			}
+		}
+	}
+}
+
+// Lemma 14 (sequencing admissibility): if p,E,R ⊢ s_a : M_a, O_a and
+// p,E,O_a ⊢ s_b : M_b, O_b then p,E,R ⊢ s_a.s_b : M_a ∪ M_b, O_b.
+func TestLemma14(t *testing.T) {
+	for _, f := range fixtures(t, 5) {
+		for i := 0; i < 20; i++ {
+			sa, sb := RandomStmt(f.rng, f.p), RandomStmt(f.rng, f.p)
+			r := RandomSet(f.rng, f.p)
+			ma, oa := f.c.JudgeStmt(f.env, r, sa)
+			mb, ob := f.c.JudgeStmt(f.env, oa, sb)
+			m, o := f.c.JudgeStmt(f.env, r, syntax.Seq(sa, sb))
+			want := ma.Clone()
+			want.UnionWith(mb)
+			if !m.Equal(want) || !o.Equal(ob) {
+				t.Fatalf("Lemma 14 violated")
+			}
+		}
+	}
+}
+
+// Lemma 15: R′ ⊆ R ⇒ M′ ⊆ M for tree typing.
+func TestLemma15(t *testing.T) {
+	for _, f := range fixtures(t, 5) {
+		for i := 0; i < 15; i++ {
+			tr := RandomTree(f.rng, f.p, 3)
+			r := RandomSet(f.rng, f.p)
+			rSub := r.Clone()
+			rSub.IntersectWith(RandomSet(f.rng, f.p))
+			small := f.c.JudgeTree(f.env, rSub, tr)
+			big := f.c.JudgeTree(f.env, r, tr)
+			if !small.SubsetOf(big) {
+				t.Fatalf("Lemma 15 violated")
+			}
+		}
+	}
+}
+
+// Deadlock freedom (Theorem 1) on arbitrary random trees, not just
+// reachable ones: the induction in Appendix A is over all trees.
+func TestTheorem1OnRandomTrees(t *testing.T) {
+	for _, f := range fixtures(t, 5) {
+		for i := 0; i < 30; i++ {
+			tr := RandomTree(f.rng, f.p, 4)
+			st := machine.State{A: make(machine.Array, f.p.ArrayLen), T: tr}
+			if !machine.Progress(f.p, st) {
+				t.Fatalf("progress violated on random tree %s", tree.String(f.p, tr))
+			}
+		}
+	}
+}

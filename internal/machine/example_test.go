@@ -1,0 +1,55 @@
+package machine_test
+
+import (
+	"fmt"
+
+	"fx10/internal/machine"
+	"fx10/internal/parser"
+	"fx10/internal/tree"
+)
+
+// ExampleRun steps a finish/async program to completion under the
+// deterministic leftmost scheduler.
+func ExampleRun() {
+	p := parser.MustParse(`
+array 4;
+void main() {
+  finish {
+    async { a[0] = 41; }
+  }
+  a[1] = a[0] + 1;
+}
+`)
+	res := machine.Run(p, machine.Initial(p, nil), machine.Leftmost{}, 1000)
+	fmt.Println("done:", res.Done)
+	fmt.Println("array:", res.Final.A)
+	// Output:
+	// done: true
+	// array: [41 42 0 0]
+}
+
+// ExampleTrace shows the execution trees the finish and async rules
+// build.
+func ExampleTrace() {
+	p := parser.MustParse(`
+array 2;
+void main() {
+  F: finish {
+    A: async { S: skip; }
+  }
+  T: skip;
+}
+`)
+	states := machine.Trace(p, machine.Initial(p, nil), machine.Leftmost{}, 10)
+	for _, st := range states {
+		fmt.Println(tree.String(p, st.T))
+	}
+	// Output:
+	// <F T>
+	// (<A> >> <T>)
+	// ((<S> || OK) >> <T>)
+	// (<S> >> <T>)
+	// (OK >> <T>)
+	// <T>
+	// OK
+}

@@ -1,0 +1,376 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+
+	"fx10/internal/fixtures"
+	"fx10/internal/parser"
+	"fx10/internal/syntax"
+	"fx10/internal/tree"
+)
+
+func TestArrayEval(t *testing.T) {
+	a := Array{5, 7}
+	if got := a.Eval(syntax.Const{C: 42}); got != 42 {
+		t.Fatalf("Eval(42) = %d", got)
+	}
+	if got := a.Eval(syntax.Plus{D: 1}); got != 8 {
+		t.Fatalf("Eval(a[1]+1) = %d, want 8", got)
+	}
+}
+
+func TestInitial(t *testing.T) {
+	p := fixtures.Example22()
+	st := Initial(p, []int64{1, 2})
+	if len(st.A) != p.ArrayLen {
+		t.Fatalf("array len = %d, want %d", len(st.A), p.ArrayLen)
+	}
+	if st.A[0] != 1 || st.A[1] != 2 || st.A[2] != 0 {
+		t.Fatalf("array init wrong: %v", st.A)
+	}
+	lf, ok := st.T.(*tree.Leaf)
+	if !ok || lf.S != p.Main().Body {
+		t.Fatalf("initial tree is not ⟨s_0⟩")
+	}
+}
+
+func TestSkipAndAssignSteps(t *testing.T) {
+	p := parser.MustParse(`
+array 2;
+void main() {
+  a[0] = 41;
+  a[1] = a[0] + 1;
+  skip;
+}
+`)
+	st := Initial(p, nil)
+	res := Run(p, st, Leftmost{}, 100)
+	if !res.Done {
+		t.Fatalf("program did not finish")
+	}
+	if res.Steps != 3 {
+		t.Fatalf("steps = %d, want 3", res.Steps)
+	}
+	if res.Final.A[0] != 41 || res.Final.A[1] != 42 {
+		t.Fatalf("final array = %v", res.Final.A)
+	}
+}
+
+func TestArrayCopyOnWrite(t *testing.T) {
+	p := parser.MustParse(`array 1; void main() { a[0] = 9; }`)
+	st := Initial(p, nil)
+	succ := Successors(p, st)
+	if len(succ) != 1 {
+		t.Fatalf("successors = %d", len(succ))
+	}
+	if st.A[0] != 0 {
+		t.Fatalf("step mutated the source state's array")
+	}
+	if succ[0].A[0] != 9 {
+		t.Fatalf("assignment lost: %v", succ[0].A)
+	}
+}
+
+func TestWhileZeroIterations(t *testing.T) {
+	p := parser.MustParse(`
+array 2;
+void main() {
+  while (a[0] != 0) { a[1] = 1; }
+  a[1] = 7;
+}
+`)
+	res := Run(p, Initial(p, nil), Leftmost{}, 100)
+	if !res.Done || res.Final.A[1] != 7 {
+		t.Fatalf("while(0) should skip body: %+v", res.Final.A)
+	}
+}
+
+func TestWhileOneIteration(t *testing.T) {
+	p := parser.MustParse(`
+array 2;
+void main() {
+  a[0] = 1;
+  while (a[0] != 0) {
+    a[1] = a[1] + 1;
+    a[0] = 0;
+  }
+}
+`)
+	res := Run(p, Initial(p, nil), Leftmost{}, 100)
+	if !res.Done {
+		t.Fatalf("did not terminate")
+	}
+	if res.Final.A[1] != 1 || res.Final.A[0] != 0 {
+		t.Fatalf("final array = %v", res.Final.A)
+	}
+}
+
+func TestWhileDivergesUntilFuel(t *testing.T) {
+	p := parser.MustParse(`
+array 1;
+void main() {
+  a[0] = 1;
+  while (a[0] != 0) { skip; }
+}
+`)
+	res := Run(p, Initial(p, nil), Leftmost{}, 50)
+	if res.Done {
+		t.Fatalf("divergent loop reported done")
+	}
+	if res.Steps != 50 {
+		t.Fatalf("steps = %d, want the full fuel 50", res.Steps)
+	}
+}
+
+// A spinning loop terminated by a parallel async: the core async-
+// finish interaction. The loop only exits if the async body's write
+// is interleaved, which the leftmost scheduler provides by stepping
+// the spawned body (left Par subtree) first.
+func TestAsyncStopsSpinningLoop(t *testing.T) {
+	p := parser.MustParse(`
+array 2;
+void main() {
+  a[0] = 1;
+  async { a[0] = 0; }
+  while (a[0] != 0) { skip; }
+  a[1] = 5;
+}
+`)
+	res := Run(p, Initial(p, nil), Leftmost{}, 1000)
+	if !res.Done {
+		t.Fatalf("did not terminate under leftmost scheduling")
+	}
+	if res.Final.A[1] != 5 {
+		t.Fatalf("final array = %v", res.Final.A)
+	}
+	// And under a random scheduler (which must eventually pick the
+	// async body).
+	res = Run(p, Initial(p, nil), NewRandom(1), 100000)
+	if !res.Done {
+		t.Fatalf("did not terminate under random scheduling")
+	}
+}
+
+// TestPaperTraceExample22 follows the execution prefix the paper
+// walks through in Section 3.1 for the first finish of the Section
+// 2.2 example, checking each intermediate tree shape.
+func TestPaperTraceExample22(t *testing.T) {
+	p := fixtures.Example22()
+	st := Initial(p, nil)
+
+	shape := func(st State) string { return tree.String(p, st.T) }
+
+	// ⟨S1 S2⟩ → ⟨A3 C1⟩ ▷ ⟨S2⟩       (finish rule 13)
+	st = Successors(p, st)[0]
+	if got := shape(st); got != "(<A3 C1> >> <S2>)" {
+		t.Fatalf("after finish: %s", got)
+	}
+	// → (⟨S3⟩ ∥ ⟨C1⟩) ▷ ⟨S2⟩          (async rule 12)
+	st = Successors(p, st)[0]
+	if got := shape(st); got != "((<S3> || <C1>) >> <S2>)" {
+		t.Fatalf("after async: %s", got)
+	}
+	// Step the call (right Par subtree): → (⟨S3⟩ ∥ ⟨A5⟩) ▷ ⟨S2⟩ (rule 14)
+	succ := Successors(p, st)
+	var next *State
+	for i := range succ {
+		if strings.Contains(shape(succ[i]), "<A5>") {
+			next = &succ[i]
+		}
+	}
+	if next == nil {
+		t.Fatalf("no successor performed the call; got %d successors", len(succ))
+	}
+	st = *next
+	if got := shape(st); got != "((<S3> || <A5>) >> <S2>)" {
+		t.Fatalf("after call: %s", got)
+	}
+	// Step A5: → (⟨S3⟩ ∥ (⟨S5⟩ ∥ √)) ▷ ⟨S2⟩ (rule 12, empty continuation).
+	succ = Successors(p, st)
+	next = nil
+	for i := range succ {
+		if strings.Contains(shape(succ[i]), "<S5>") {
+			next = &succ[i]
+		}
+	}
+	if next == nil {
+		t.Fatalf("no successor stepped A5")
+	}
+	if got := shape(*next); got != "((<S3> || (<S5> || OK)) >> <S2>)" {
+		t.Fatalf("after inner async: %s", got)
+	}
+}
+
+func TestFullRunExample22(t *testing.T) {
+	p := fixtures.Example22()
+	for seed := int64(0); seed < 20; seed++ {
+		res := Run(p, Initial(p, nil), NewRandom(seed), 10000)
+		if !res.Done {
+			t.Fatalf("seed %d: did not terminate", seed)
+		}
+	}
+	res := Run(p, Initial(p, nil), Leftmost{}, 10000)
+	if !res.Done {
+		t.Fatalf("leftmost: did not terminate")
+	}
+}
+
+// Finish must block its continuation until the body (including
+// spawned asyncs) completes: a[1] is written by an async inside the
+// finish, and read (via +1) after the finish. Every schedule must see
+// the write.
+func TestFinishWaitsForAsyncs(t *testing.T) {
+	p := parser.MustParse(`
+array 2;
+void main() {
+  finish {
+    async { a[0] = 10; }
+  }
+  a[1] = a[0] + 1;
+}
+`)
+	for seed := int64(0); seed < 50; seed++ {
+		res := Run(p, Initial(p, nil), NewRandom(seed), 10000)
+		if !res.Done {
+			t.Fatalf("seed %d: not done", seed)
+		}
+		if res.Final.A[1] != 11 {
+			t.Fatalf("seed %d: finish did not wait; a = %v", seed, res.Final.A)
+		}
+	}
+}
+
+// Without finish, the read may or may not see the async's write:
+// both outcomes must be reachable under some schedule.
+func TestAsyncRaceBothOutcomes(t *testing.T) {
+	p := parser.MustParse(`
+array 2;
+void main() {
+  async { a[0] = 10; }
+  a[1] = a[0] + 1;
+}
+`)
+	saw := map[int64]bool{}
+	for seed := int64(0); seed < 100; seed++ {
+		res := Run(p, Initial(p, nil), NewRandom(seed), 10000)
+		if !res.Done {
+			t.Fatalf("seed %d: not done", seed)
+		}
+		saw[res.Final.A[1]] = true
+	}
+	if !saw[1] || !saw[11] {
+		t.Fatalf("expected both race outcomes {1, 11}, saw %v", saw)
+	}
+}
+
+func TestProgressOnDone(t *testing.T) {
+	p := fixtures.Example22()
+	if !Progress(p, State{A: make(Array, p.ArrayLen), T: tree.Done}) {
+		t.Fatalf("√ should satisfy progress")
+	}
+}
+
+// Theorem 1 (deadlock freedom) along every state of several random
+// executions.
+func TestDeadlockFreedomAlongTraces(t *testing.T) {
+	for _, src := range []string{fixtures.Example21Source, fixtures.Example22Source} {
+		p := parser.MustParse(src)
+		for seed := int64(0); seed < 10; seed++ {
+			states := Trace(p, Initial(p, nil), NewRandom(seed), 500)
+			for i, st := range states {
+				if !Progress(p, st) {
+					t.Fatalf("seed %d state %d violates progress: %s", seed, i, tree.String(p, st.T))
+				}
+			}
+		}
+	}
+}
+
+func TestRecursionUnfoldsViaCall(t *testing.T) {
+	// Terminating recursion: f calls itself while a[0] != 0, with the
+	// guard cleared on the first pass. (FX10 has no decrement, so the
+	// recursion is guarded by a flag cell.)
+	p := parser.MustParse(`
+array 2;
+void f() {
+  while (a[0] != 0) {
+    a[0] = 0;
+    a[1] = a[1] + 1;
+    g();
+  }
+}
+void g() { a[1] = a[1] + 1; }
+void main() {
+  a[0] = 1;
+  f();
+}
+`)
+	res := Run(p, Initial(p, nil), Leftmost{}, 1000)
+	if !res.Done {
+		t.Fatalf("not done")
+	}
+	if res.Final.A[1] != 2 {
+		t.Fatalf("a[1] = %d, want 2", res.Final.A[1])
+	}
+}
+
+func TestPlacesPropagation(t *testing.T) {
+	p := parser.MustParse(`
+array 2;
+void main() {
+  async at (3) {
+    async { skip; }
+  }
+  skip;
+}
+`)
+	st := Initial(p, nil)
+	st = Successors(p, st)[0] // spawn the placed async
+	par, ok := st.T.(*tree.Par)
+	if !ok {
+		t.Fatalf("expected Par, got %T", st.T)
+	}
+	body := par.L.(*tree.Leaf)
+	if body.Place != 3 {
+		t.Fatalf("body place = %d, want 3", body.Place)
+	}
+	// The nested plain async inherits place 3.
+	inner := succLeaf(p, st.A, body)[0]
+	ipar := inner.T.(*tree.Par)
+	if ipar.L.(*tree.Leaf).Place != 3 {
+		t.Fatalf("nested async place = %d, want 3", ipar.L.(*tree.Leaf).Place)
+	}
+}
+
+func TestTraceIncludesInitialAndFinal(t *testing.T) {
+	p := parser.MustParse(`array 1; void main() { skip; }`)
+	states := Trace(p, Initial(p, nil), Leftmost{}, 10)
+	if len(states) != 2 {
+		t.Fatalf("trace length = %d, want 2", len(states))
+	}
+	if !states[1].T.Done() {
+		t.Fatalf("final trace state not done")
+	}
+}
+
+func TestSuccessorsOfDoneEmpty(t *testing.T) {
+	p := fixtures.Example22()
+	if got := Successors(p, State{A: make(Array, 4), T: tree.Done}); got != nil {
+		t.Fatalf("√ has successors: %v", got)
+	}
+}
+
+func TestParBothDoneCollapses(t *testing.T) {
+	p := fixtures.Example22()
+	st := State{A: make(Array, 4), T: &tree.Par{L: tree.Done, R: tree.Done}}
+	succ := Successors(p, st)
+	if len(succ) != 2 {
+		t.Fatalf("√∥√ successors = %d, want 2 (rules 3 and 4)", len(succ))
+	}
+	for _, s := range succ {
+		if !s.T.Done() {
+			t.Fatalf("√∥√ must collapse to √")
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package mhp_test
+
+import (
+	"fmt"
+	"sort"
+
+	"fx10/internal/constraints"
+	"fx10/internal/mhp"
+	"fx10/internal/parser"
+	"fx10/internal/syntax"
+)
+
+// ExampleAnalyze runs the may-happen-in-parallel analysis on a small
+// fork-join program and prints the pairs and race candidates.
+func ExampleAnalyze() {
+	p := parser.MustParse(`
+array 4;
+void main() {
+  B1: async { W1: a[0] = 1; }
+  B2: async { W2: a[0] = 2; }
+  R: a[1] = a[0] + 1;
+}
+`)
+	r := mhp.Analyze(p, constraints.ContextSensitive)
+
+	var pairs []string
+	r.M.Each(func(i, j int) {
+		if i <= j {
+			pairs = append(pairs, fmt.Sprintf("(%s,%s)",
+				p.LabelName(syntax.Label(i)), p.LabelName(syntax.Label(j))))
+		}
+	})
+	sort.Strings(pairs)
+	fmt.Println("pairs:", pairs)
+
+	for _, rc := range r.RaceCandidates() {
+		kind := "write/read"
+		if rc.WriteWrite {
+			kind = "write/write"
+		}
+		fmt.Printf("race on a[%d]: %s vs %s (%s)\n",
+			rc.Index, p.LabelName(rc.L1), p.LabelName(rc.L2), kind)
+	}
+	// Output:
+	// pairs: [(W1,B2) (W1,R) (W1,W2) (W2,R)]
+	// race on a[0]: W1 vs W2 (write/write)
+	// race on a[0]: W1 vs R (write/read)
+	// race on a[0]: W2 vs R (write/read)
+}

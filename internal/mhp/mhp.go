@@ -1,0 +1,309 @@
+// Package mhp is the front door of the may-happen-in-parallel
+// analysis: it wires together the Slabels fixpoint, constraint
+// generation and solving, and exposes the results the paper reports —
+// label-pair queries, the async-body pair classification of Figure 8
+// (self / same / diff), race candidates (the analysis's motivating
+// client), and false-positive counting against the exact relation.
+package mhp
+
+import (
+	"sort"
+
+	"fx10/internal/constraints"
+	"fx10/internal/explore"
+	"fx10/internal/intset"
+	"fx10/internal/labels"
+	"fx10/internal/syntax"
+	"fx10/internal/types"
+)
+
+// Result is a completed analysis of one program.
+type Result struct {
+	Program *syntax.Program
+	Info    *labels.Info
+	Sys     *constraints.System
+	Sol     *constraints.Solution
+	// Env is the inferred type environment E with ⊢ p : E.
+	Env types.Env
+	// M is E(main).M: by Theorem 3, MHP(p) ⊆ M.
+	M *intset.PairSet
+}
+
+// Analyze runs the full pipeline on p in the given mode.
+func Analyze(p *syntax.Program, mode constraints.Mode) *Result {
+	in := labels.Compute(p)
+	sys := constraints.Generate(in, mode)
+	sol := sys.Solve(constraints.Options{})
+	return &Result{
+		Program: p,
+		Info:    in,
+		Sys:     sys,
+		Sol:     sol,
+		Env:     sol.Env(),
+		M:       sol.MainM(),
+	}
+}
+
+// MayHappenInParallel reports whether the analysis says the
+// instructions labeled l1 and l2 may happen in parallel.
+func (r *Result) MayHappenInParallel(l1, l2 syntax.Label) bool {
+	return r.M.Has(int(l1), int(l2))
+}
+
+// ParallelWith returns the labels the analysis pairs with l, in label
+// order.
+func (r *Result) ParallelWith(l syntax.Label) []syntax.Label {
+	var out []syntax.Label
+	r.M.Row(int(l)).Each(func(e int) { out = append(out, syntax.Label(e)) })
+	return out
+}
+
+// Category classifies an async-body pair as in Figure 8.
+type Category int
+
+const (
+	// Self: an async body may happen in parallel with itself
+	// (typically an async in a loop without an enclosing finish).
+	Self Category = iota
+	// Same: two different async bodies in the same method.
+	Same
+	// Diff: two async bodies in different methods.
+	Diff
+)
+
+func (c Category) String() string {
+	switch c {
+	case Self:
+		return "self"
+	case Same:
+		return "same"
+	case Diff:
+		return "diff"
+	}
+	return "?"
+}
+
+// AsyncPair is one pair of async bodies that may happen in parallel.
+// A and B are the labels of the async instructions (A ≤ B).
+type AsyncPair struct {
+	A, B     syntax.Label
+	Category Category
+}
+
+// AsyncBodyPairs returns the pairs of async bodies that may happen in
+// parallel according to M: bodies A and B pair iff some label of A's
+// body may happen in parallel with some label of B's body. Pairs are
+// returned in (A, B) label order.
+func (r *Result) AsyncBodyPairs() []AsyncPair {
+	return asyncBodyPairs(r.Program, r.Info, r.M)
+}
+
+// lexicalLabels collects the labels syntactically inside s — unlike
+// Slabels it does not follow method calls, so two asyncs calling the
+// same helper do not share body labels. This is the body notion the
+// pair counts of Figure 8 are about: a pair of async *bodies*.
+func lexicalLabels(n int, s *syntax.Stmt) *intset.Set {
+	out := intset.New(n)
+	s.EachDeep(func(i syntax.Instr) { out.Add(int(i.Label())) })
+	return out
+}
+
+// asyncBodyPairs is the shared classification core, also used against
+// ground-truth relations.
+func asyncBodyPairs(p *syntax.Program, in *labels.Info, m *intset.PairSet) []AsyncPair {
+	asyncs := p.AsyncLabels()
+	bodies := make([]*intset.Set, len(asyncs))
+	for i, a := range asyncs {
+		bodies[i] = lexicalLabels(p.NumLabels(), syntax.Body(p.Labels[a].Instr))
+	}
+	var out []AsyncPair
+	for i, a := range asyncs {
+		for j := i; j < len(asyncs); j++ {
+			b := asyncs[j]
+			if !crossIntersects(m, bodies[i], bodies[j]) {
+				continue
+			}
+			cat := Diff
+			switch {
+			case i == j:
+				cat = Self
+			case p.Labels[a].Method == p.Labels[b].Method:
+				cat = Same
+			}
+			out = append(out, AsyncPair{A: a, B: b, Category: cat})
+		}
+	}
+	return out
+}
+
+// crossIntersects reports whether m contains any pair from a × b.
+func crossIntersects(m *intset.PairSet, a, b *intset.Set) bool {
+	found := false
+	a.Each(func(i int) {
+		if !found && m.RowIntersects(i, b) {
+			found = true
+		}
+	})
+	return found
+}
+
+// PairCounts is the Figure 8 pair-count row.
+type PairCounts struct {
+	Total, Self, Same, Diff int
+}
+
+// CountPairs tallies async-body pairs by category.
+func CountPairs(pairs []AsyncPair) PairCounts {
+	c := PairCounts{Total: len(pairs)}
+	for _, p := range pairs {
+		switch p.Category {
+		case Self:
+			c.Self++
+		case Same:
+			c.Same++
+		case Diff:
+			c.Diff++
+		}
+	}
+	return c
+}
+
+// RaceCandidate is a potential data race: two instructions that may
+// happen in parallel and access the same array index, at least one of
+// them writing.
+type RaceCandidate struct {
+	L1, L2     syntax.Label
+	Index      int
+	WriteWrite bool // both sides write
+}
+
+// access describes one instruction's array accesses.
+type access struct {
+	label  syntax.Label
+	reads  []int
+	writes []int
+}
+
+// RaceCandidates reports the potential data races implied by M, in
+// deterministic order. This is the "basis for race detectors" client
+// the paper motivates: MHP ∧ same index ∧ a write.
+func (r *Result) RaceCandidates() []RaceCandidate {
+	var accs []access
+	r.Program.EachInstr(func(_ int, i syntax.Instr) {
+		switch i := i.(type) {
+		case *syntax.Assign:
+			a := access{label: i.L, writes: []int{i.D}}
+			if plus, ok := i.Rhs.(syntax.Plus); ok {
+				a.reads = append(a.reads, plus.D)
+			}
+			accs = append(accs, a)
+		case *syntax.While:
+			accs = append(accs, access{label: i.L, reads: []int{i.D}})
+		}
+	})
+	var out []RaceCandidate
+	for i := range accs {
+		for j := i; j < len(accs); j++ {
+			a, b := accs[i], accs[j]
+			if !r.M.Has(int(a.label), int(b.label)) {
+				continue
+			}
+			for _, idx := range raceIndices(a, b) {
+				out = append(out, RaceCandidate{
+					L1: a.label, L2: b.label, Index: idx.index, WriteWrite: idx.ww,
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].L1 != out[j].L1 {
+			return out[i].L1 < out[j].L1
+		}
+		if out[i].L2 != out[j].L2 {
+			return out[i].L2 < out[j].L2
+		}
+		return out[i].Index < out[j].Index
+	})
+	return out
+}
+
+type raceIdx struct {
+	index int
+	ww    bool
+}
+
+// raceIndices returns the indices where a and b conflict (write/write
+// or write/read in either direction), deduplicated.
+func raceIndices(a, b access) []raceIdx {
+	seen := map[int]raceIdx{}
+	for _, wa := range a.writes {
+		for _, wb := range b.writes {
+			if wa == wb {
+				seen[wa] = raceIdx{index: wa, ww: true}
+			}
+		}
+		for _, rb := range b.reads {
+			if wa == rb {
+				if _, ok := seen[wa]; !ok {
+					seen[wa] = raceIdx{index: wa}
+				}
+			}
+		}
+	}
+	for _, wb := range b.writes {
+		for _, ra := range a.reads {
+			if wb == ra {
+				if _, ok := seen[wb]; !ok {
+					seen[wb] = raceIdx{index: wb}
+				}
+			}
+		}
+	}
+	var out []raceIdx
+	for _, v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].index < out[j].index })
+	return out
+}
+
+// FalsePositiveReport compares the analysis against the exact
+// relation computed by exhaustive exploration (Section 6's
+// methodology).
+type FalsePositiveReport struct {
+	// Complete is false if exploration ran out of budget; the counts
+	// are then upper bounds on precision, not exact.
+	Complete bool
+	// ExactPairs / InferredPairs are the async-body pair counts under
+	// the exact and inferred relations.
+	ExactPairs    []AsyncPair
+	InferredPairs []AsyncPair
+	// FalsePositives are inferred async-body pairs absent from the
+	// exact relation.
+	FalsePositives []AsyncPair
+	// SoundnessHolds reports exact ⊆ inferred on raw label pairs
+	// (Theorem 3); false would indicate an implementation bug.
+	SoundnessHolds bool
+}
+
+// CheckFalsePositives explores up to maxStates states and classifies
+// the inferred async-body pairs against the exact relation.
+func (r *Result) CheckFalsePositives(a0 []int64, maxStates int) FalsePositiveReport {
+	res := explore.MHPWithInfo(r.Info, r.Program, a0, maxStates)
+	rep := FalsePositiveReport{
+		Complete:       res.Complete,
+		ExactPairs:     asyncBodyPairs(r.Program, r.Info, res.MHP),
+		InferredPairs:  r.AsyncBodyPairs(),
+		SoundnessHolds: !res.Complete || res.MHP.SubsetOf(r.M),
+	}
+	exact := map[[2]syntax.Label]bool{}
+	for _, pr := range rep.ExactPairs {
+		exact[[2]syntax.Label{pr.A, pr.B}] = true
+	}
+	for _, pr := range rep.InferredPairs {
+		if !exact[[2]syntax.Label{pr.A, pr.B}] {
+			rep.FalsePositives = append(rep.FalsePositives, pr)
+		}
+	}
+	return rep
+}

@@ -1,0 +1,125 @@
+package mhp
+
+import (
+	"encoding/json"
+	"io"
+
+	"fx10/internal/syntax"
+)
+
+// Report is the machine-readable form of an analysis Result, with
+// labels rendered as their display names. It is what
+// `fx10 mhp -json` emits, and what downstream tools (editors, race
+// triage dashboards) would consume.
+type Report struct {
+	Mode        string       `json:"mode"`
+	Methods     int          `json:"methods"`
+	Labels      int          `json:"labels"`
+	Constraints Constraints  `json:"constraints"`
+	Iterations  Iterations   `json:"iterations"`
+	Pairs       []LabelPair  `json:"mhpPairs"`
+	AsyncPairs  []AsyncPairJ `json:"asyncBodyPairs"`
+	PairCounts  PairCounts   `json:"asyncBodyPairCounts"`
+	Races       []RaceJ      `json:"raceCandidates"`
+	Summaries   []SummaryJ   `json:"methodSummaries"`
+}
+
+// Constraints reports the Figure 6 constraint counts.
+type Constraints struct {
+	Slabels int `json:"slabels"`
+	Level1  int `json:"level1"`
+	Level2  int `json:"level2"`
+}
+
+// Iterations reports the solver pass counts.
+type Iterations struct {
+	Slabels int `json:"slabels"`
+	Level1  int `json:"level1"`
+	Level2  int `json:"level2"`
+}
+
+// LabelPair is one unordered MHP pair (A ≤ B in label order).
+type LabelPair struct {
+	A string `json:"a"`
+	B string `json:"b"`
+}
+
+// AsyncPairJ is one async-body pair with its Figure 8 category.
+type AsyncPairJ struct {
+	A        string `json:"a"`
+	B        string `json:"b"`
+	Category string `json:"category"`
+}
+
+// RaceJ is one race candidate.
+type RaceJ struct {
+	A          string `json:"a"`
+	B          string `json:"b"`
+	Index      int    `json:"index"`
+	WriteWrite bool   `json:"writeWrite"`
+}
+
+// SummaryJ is one method summary (M size and the O label set).
+type SummaryJ struct {
+	Method   string   `json:"method"`
+	MPairs   int      `json:"mPairs"`
+	Outlives []string `json:"outlives"`
+}
+
+// Report builds the serializable report.
+func (r *Result) Report() Report {
+	p := r.Program
+	name := func(l syntax.Label) string { return p.LabelName(l) }
+
+	rep := Report{
+		Mode:    r.Sys.Mode.String(),
+		Methods: len(p.Methods),
+		Labels:  p.NumLabels(),
+		Iterations: Iterations{
+			Slabels: r.Sol.IterSlabels,
+			Level1:  r.Sol.IterL1,
+			Level2:  r.Sol.IterL2,
+		},
+	}
+	rep.Constraints.Slabels, rep.Constraints.Level1, rep.Constraints.Level2 = r.Sys.Counts()
+
+	r.M.Each(func(i, j int) {
+		if i <= j {
+			rep.Pairs = append(rep.Pairs, LabelPair{A: name(syntax.Label(i)), B: name(syntax.Label(j))})
+		}
+	})
+
+	asyncPairs := r.AsyncBodyPairs()
+	rep.PairCounts = CountPairs(asyncPairs)
+	for _, ap := range asyncPairs {
+		rep.AsyncPairs = append(rep.AsyncPairs, AsyncPairJ{
+			A: name(ap.A), B: name(ap.B), Category: ap.Category.String(),
+		})
+	}
+
+	for _, rc := range r.RaceCandidates() {
+		rep.Races = append(rep.Races, RaceJ{
+			A: name(rc.L1), B: name(rc.L2), Index: rc.Index, WriteWrite: rc.WriteWrite,
+		})
+	}
+
+	env := r.Env
+	if env == nil { // Result built without the cached environment
+		env = r.Sol.Env()
+	}
+	for mi, m := range p.Methods {
+		s := SummaryJ{Method: m.Name, MPairs: env[mi].M.Len()}
+		env[mi].O.Each(func(e int) {
+			s.Outlives = append(s.Outlives, name(syntax.Label(e)))
+		})
+		rep.Summaries = append(rep.Summaries, s)
+	}
+	return rep
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Report())
+}

@@ -1,0 +1,226 @@
+// Package parser turns concrete FX10 source text into the abstract
+// syntax of internal/syntax.
+//
+// The concrete grammar (extended BNF; [x] optional, {x} repeated):
+//
+//	program  := ["array" INT ";"] method {method}
+//	method   := "void" IDENT "(" ")" block
+//	block    := "{" {stmt} "}"
+//	stmt     := [IDENT ":"] instr
+//	instr    := "skip" ";"
+//	          | "a" "[" INT "]" "=" expr ";"
+//	          | "while" "(" "a" "[" INT "]" "!=" "0" ")" block
+//	          | "async" ["at" "(" INT ")"] block
+//	          | "finish" block
+//	          | IDENT "(" ")" ";"
+//	expr     := INT | "a" "[" INT "]" "+" "1"
+//
+// Line comments ("// …") and block comments ("/* … */") are ignored.
+// An empty block is sugar for a block containing a single unlabeled
+// skip, since FX10 statements are non-empty. The optional "at (q)"
+// clause on async is the Section 8 places extension; plain FX10
+// programs never use it. If the "array n;" header is omitted the array
+// length defaults to 16.
+package parser
+
+import (
+	"fmt"
+	"unicode"
+)
+
+// tokKind enumerates lexical token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokLBrace  // {
+	tokRBrace  // }
+	tokLParen  // (
+	tokRParen  // )
+	tokLBrack  // [
+	tokRBrack  // ]
+	tokSemi    // ;
+	tokColon   // :
+	tokAssign  // =
+	tokPlus    // +
+	tokNotEq   // !=
+	tokKeyword // one of the reserved words
+)
+
+var keywords = map[string]bool{
+	"array": true, "void": true, "skip": true, "while": true,
+	"async": true, "finish": true, "at": true, "a": true,
+	"clocked": true, "next": true,
+}
+
+// token is one lexical token with its source position.
+type token struct {
+	kind tokKind
+	text string
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// lexer scans FX10 source into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+// Error is a parse or scan error with position information.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func (lx *lexer) errf(line, col int, format string, args ...any) error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (lx *lexer) peekByte() byte {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *lexer) advance() byte {
+	c := lx.src[lx.pos]
+	lx.pos++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+// skipSpace consumes whitespace and comments; it reports an error for
+// an unterminated block comment.
+func (lx *lexer) skipSpace() error {
+	for lx.pos < len(lx.src) {
+		c := lx.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '/':
+			for lx.pos < len(lx.src) && lx.peekByte() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '*':
+			startLine, startCol := lx.line, lx.col
+			lx.advance()
+			lx.advance()
+			closed := false
+			for lx.pos+1 < len(lx.src)+1 && lx.pos < len(lx.src) {
+				if lx.peekByte() == '*' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '/' {
+					lx.advance()
+					lx.advance()
+					closed = true
+					break
+				}
+				lx.advance()
+			}
+			if !closed {
+				return lx.errf(startLine, startCol, "unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentCont(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+// next scans the next token.
+func (lx *lexer) next() (token, error) {
+	if err := lx.skipSpace(); err != nil {
+		return token{}, err
+	}
+	line, col := lx.line, lx.col
+	if lx.pos >= len(lx.src) {
+		return token{kind: tokEOF, line: line, col: col}, nil
+	}
+	c := lx.peekByte()
+	switch {
+	case isIdentStart(c):
+		start := lx.pos
+		for lx.pos < len(lx.src) && isIdentCont(lx.peekByte()) {
+			lx.advance()
+		}
+		text := lx.src[start:lx.pos]
+		kind := tokIdent
+		if keywords[text] {
+			kind = tokKeyword
+		}
+		return token{kind: kind, text: text, line: line, col: col}, nil
+	case unicode.IsDigit(rune(c)):
+		start := lx.pos
+		for lx.pos < len(lx.src) && unicode.IsDigit(rune(lx.peekByte())) {
+			lx.advance()
+		}
+		return token{kind: tokInt, text: lx.src[start:lx.pos], line: line, col: col}, nil
+	}
+	lx.advance()
+	single := map[byte]tokKind{
+		'{': tokLBrace, '}': tokRBrace, '(': tokLParen, ')': tokRParen,
+		'[': tokLBrack, ']': tokRBrack, ';': tokSemi, ':': tokColon,
+		'=': tokAssign, '+': tokPlus,
+	}
+	if k, ok := single[c]; ok {
+		return token{kind: k, text: string(c), line: line, col: col}, nil
+	}
+	if c == '!' {
+		if lx.peekByte() == '=' {
+			lx.advance()
+			return token{kind: tokNotEq, text: "!=", line: line, col: col}, nil
+		}
+		return token{}, lx.errf(line, col, "unexpected character '!'")
+	}
+	return token{}, lx.errf(line, col, "unexpected character %q", string(c))
+}
+
+// lexAll scans the whole input, for tests.
+func lexAll(src string) ([]token, error) {
+	lx := newLexer(src)
+	var out []token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

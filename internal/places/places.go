@@ -1,0 +1,175 @@
+// Package places implements the future-work extension sketched in
+// Section 8 of the paper: executing trees ⟨s⟩^q carry the place q the
+// statement runs at, and the may-happen-in-parallel question is
+// refined to "may two statements happen in parallel *at the same
+// place*".
+//
+// Statically, each label is assigned the set of places its enclosing
+// activity may run at: main starts at place 0, a plain async inherits
+// its spawner's place, and async at (q) switches to place q. Method
+// place sets are a fixpoint over the call graph (a method called from
+// several places may run at all of them). The refinement then keeps
+// only the MHP pairs whose place sets intersect.
+//
+// Dynamically, the machine's leaves already carry places (see
+// internal/machine); SameplaceParallel is the place-refined analogue
+// of the paper's parallel(T), used as the ground truth in tests.
+package places
+
+import (
+	"fx10/internal/intset"
+	"fx10/internal/syntax"
+	"fx10/internal/tree"
+)
+
+// Info holds the computed place sets for one program.
+type Info struct {
+	p *syntax.Program
+	// NumPlaces is one more than the largest place annotation (place
+	// 0 always exists).
+	NumPlaces int
+	// labelPlaces[l] is the set of places label l may execute at.
+	labelPlaces []*intset.Set
+	// methodPlaces[mi] is the set of places method mi may be invoked
+	// at.
+	methodPlaces []*intset.Set
+}
+
+// Compute builds the place sets by fixpoint over the call graph.
+func Compute(p *syntax.Program) *Info {
+	numPlaces := 1
+	p.EachInstr(func(_ int, i syntax.Instr) {
+		if a, ok := i.(*syntax.Async); ok && a.Place+1 > numPlaces {
+			numPlaces = a.Place + 1
+		}
+	})
+	pi := &Info{
+		p:            p,
+		NumPlaces:    numPlaces,
+		labelPlaces:  make([]*intset.Set, p.NumLabels()),
+		methodPlaces: make([]*intset.Set, len(p.Methods)),
+	}
+	for l := range pi.labelPlaces {
+		pi.labelPlaces[l] = intset.New(numPlaces)
+	}
+	for m := range pi.methodPlaces {
+		pi.methodPlaces[m] = intset.New(numPlaces)
+	}
+	pi.methodPlaces[p.MainIndex].Add(0)
+
+	for {
+		changed := false
+		for mi, m := range p.Methods {
+			if pi.walk(m.Body, pi.methodPlaces[mi]) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return pi
+}
+
+// walk propagates the place set ps through the statement, updating
+// label and method place sets; it reports whether anything grew.
+func (pi *Info) walk(s *syntax.Stmt, ps *intset.Set) bool {
+	changed := false
+	for cur := s; cur != nil; cur = cur.Next {
+		i := cur.Instr
+		if pi.labelPlaces[i.Label()].UnionWith(ps) {
+			changed = true
+		}
+		switch i := i.(type) {
+		case *syntax.While:
+			if pi.walk(i.Body, ps) {
+				changed = true
+			}
+		case *syntax.Finish:
+			if pi.walk(i.Body, ps) {
+				changed = true
+			}
+		case *syntax.Async:
+			bodyPS := ps
+			if i.Place != 0 {
+				bodyPS = intset.Of(pi.NumPlaces, i.Place)
+			}
+			if pi.walk(i.Body, bodyPS) {
+				changed = true
+			}
+		case *syntax.Call:
+			if pi.methodPlaces[i.Method].UnionWith(ps) {
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// Places returns the place set of a label (shared; do not mutate).
+func (pi *Info) Places(l syntax.Label) *intset.Set { return pi.labelPlaces[l] }
+
+// MethodPlaces returns the place set of a method (shared; do not
+// mutate).
+func (pi *Info) MethodPlaces(mi int) *intset.Set { return pi.methodPlaces[mi] }
+
+// MayShare reports whether two labels may execute at a common place.
+func (pi *Info) MayShare(l1, l2 syntax.Label) bool {
+	s := pi.labelPlaces[l1].Clone()
+	s.IntersectWith(pi.labelPlaces[l2])
+	return !s.Empty()
+}
+
+// Refine filters an MHP pair set down to the pairs that may happen in
+// parallel at the same place. The result is sound for the same-place
+// question because the dynamic place of an instruction is always in
+// its static place set.
+func (pi *Info) Refine(m *intset.PairSet) *intset.PairSet {
+	out := intset.NewPairs(pi.p.NumLabels())
+	m.Each(func(i, j int) {
+		if pi.MayShare(syntax.Label(i), syntax.Label(j)) {
+			out.Add(i, j)
+		}
+	})
+	return out
+}
+
+// SameplaceParallel is the place-refined parallel(T): pairs of labels
+// of statements that can both step now, in ∥-related positions, at
+// the same place. It is the dynamic ground truth for Refine.
+func SameplaceParallel(p *syntax.Program, t tree.Tree) *intset.PairSet {
+	out := intset.NewPairs(p.NumLabels())
+	collectSameplace(t, out)
+	return out
+}
+
+// enabled returns the (first label, place) of every leaf that may
+// step next: the right side of ▷ is not enabled.
+func enabled(t tree.Tree) [][2]int {
+	switch t := t.(type) {
+	case *tree.Leaf:
+		return [][2]int{{int(t.S.Instr.Label()), t.Place}}
+	case *tree.Fin:
+		return enabled(t.L)
+	case *tree.Par:
+		return append(enabled(t.L), enabled(t.R)...)
+	}
+	return nil
+}
+
+func collectSameplace(t tree.Tree, dst *intset.PairSet) {
+	switch t := t.(type) {
+	case *tree.Fin:
+		collectSameplace(t.L, dst)
+	case *tree.Par:
+		collectSameplace(t.L, dst)
+		collectSameplace(t.R, dst)
+		for _, a := range enabled(t.L) {
+			for _, b := range enabled(t.R) {
+				if a[1] == b[1] {
+					dst.AddSym(a[0], b[0])
+				}
+			}
+		}
+	}
+}

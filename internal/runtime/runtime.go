@@ -1,0 +1,210 @@
+// Package runtime executes FX10 programs with real parallelism:
+// every async spawns a goroutine and every finish is a structured
+// join scope (a WaitGroup that every async transitively spawned in
+// the scope's body registers with, until an inner finish opens a new
+// scope). This is the execution substrate the formal interleaving
+// semantics of internal/machine models; differential tests check the
+// two agree (exactly on race-free programs, within the reachable
+// final-state set on racy ones).
+//
+// Instructions are atomic: array reads and writes take a lock, which
+// matches the interleaving semantics' per-instruction granularity.
+// FX10 is Turing-complete, so Run is fuel-bounded; exceeding the fuel
+// aborts all activities and returns ErrFuelExhausted.
+package runtime
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"fx10/internal/syntax"
+)
+
+// ErrFuelExhausted is returned when a run exceeds its step budget.
+var ErrFuelExhausted = errors.New("runtime: step budget exhausted")
+
+// Options configures a run.
+type Options struct {
+	// MaxGoroutines bounds the number of concurrently live async
+	// goroutines; when the bound is reached, asyncs degrade to inline
+	// (sequential) execution — a legal interleaving — rather than
+	// blocking, which could deadlock against a waiting finish.
+	// 0 means unbounded.
+	MaxGoroutines int
+	// MaxSteps is the instruction budget across all activities.
+	// 0 means DefaultMaxSteps.
+	MaxSteps int64
+}
+
+// DefaultMaxSteps is the fuel used when Options.MaxSteps is 0.
+const DefaultMaxSteps = 10_000_000
+
+// Result reports a completed run.
+type Result struct {
+	// Array is the final array state; per the paper, the program's
+	// result is Array[0].
+	Array []int64
+	// Steps is the number of instructions executed.
+	Steps int64
+	// Spawned is the number of asyncs that became goroutines.
+	Spawned int64
+	// Inlined is the number of asyncs executed inline because the
+	// goroutine bound was reached.
+	Inlined int64
+	// MaxLive is the maximum number of concurrently live async
+	// goroutines observed.
+	MaxLive int64
+}
+
+// Run executes p from the initial array a0 (nil means all zeros).
+func Run(p *syntax.Program, a0 []int64, opts Options) (Result, error) {
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = DefaultMaxSteps
+	}
+	r := &runner{p: p, a: make([]int64, p.ArrayLen), maxSteps: maxSteps}
+	copy(r.a, a0)
+	if opts.MaxGoroutines > 0 {
+		r.sem = make(chan struct{}, opts.MaxGoroutines)
+	}
+
+	var root sync.WaitGroup
+	r.exec(p.Main().Body, &root)
+	// Main's body may leave asyncs running (no implicit top-level
+	// finish in the calculus, but a complete execution means the
+	// whole tree reaches √, so we join them before reporting).
+	root.Wait()
+
+	res := Result{
+		Array:   r.a,
+		Steps:   r.steps.Load(),
+		Spawned: r.spawned.Load(),
+		Inlined: r.inlined.Load(),
+		MaxLive: r.maxLive.Load(),
+	}
+	if r.aborted.Load() {
+		return res, ErrFuelExhausted
+	}
+	return res, nil
+}
+
+type runner struct {
+	p        *syntax.Program
+	mu       sync.Mutex
+	a        []int64
+	steps    atomic.Int64
+	maxSteps int64
+	aborted  atomic.Bool
+
+	sem     chan struct{}
+	spawned atomic.Int64
+	inlined atomic.Int64
+	live    atomic.Int64
+	maxLive atomic.Int64
+}
+
+// step burns one unit of fuel; it reports false when the run must
+// abort.
+func (r *runner) step() bool {
+	if r.steps.Add(1) > r.maxSteps {
+		r.aborted.Store(true)
+	}
+	return !r.aborted.Load()
+}
+
+// load reads a[d] atomically.
+func (r *runner) load(d int) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.a[d]
+}
+
+// store executes a[d] = e atomically (the expression read and the
+// write are one instruction in the semantics).
+func (r *runner) store(d int, e syntax.Expr) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch e := e.(type) {
+	case syntax.Const:
+		r.a[d] = e.C
+	case syntax.Plus:
+		r.a[d] = r.a[e.D] + 1
+	}
+}
+
+// exec runs the statement sequentially in the current goroutine.
+// scope is the innermost enclosing finish scope (or the root scope);
+// asyncs register with it.
+func (r *runner) exec(s *syntax.Stmt, scope *sync.WaitGroup) {
+	for cur := s; cur != nil; cur = cur.Next {
+		if !r.step() {
+			return
+		}
+		switch i := cur.Instr.(type) {
+		case *syntax.Skip:
+			// No effect.
+
+		case *syntax.Next:
+			// Clock erasure (see internal/machine); the faithful
+			// barrier semantics lives in internal/clocks.
+
+		case *syntax.Assign:
+			r.store(i.D, i.Rhs)
+
+		case *syntax.While:
+			for r.load(i.D) != 0 {
+				r.exec(i.Body, scope)
+				if !r.step() { // the guard re-check is a step
+					return
+				}
+			}
+
+		case *syntax.Async:
+			r.spawn(i.Body, scope)
+
+		case *syntax.Finish:
+			var inner sync.WaitGroup
+			r.exec(i.Body, &inner)
+			inner.Wait()
+
+		case *syntax.Call:
+			r.exec(r.p.Methods[i.Method].Body, scope)
+		}
+	}
+}
+
+// spawn runs an async body: as a goroutine when a slot is available,
+// inline otherwise. Either way the body belongs to the current scope.
+func (r *runner) spawn(body *syntax.Stmt, scope *sync.WaitGroup) {
+	scope.Add(1)
+	if r.sem != nil {
+		select {
+		case r.sem <- struct{}{}:
+		default:
+			// No slot: run inline; still a valid interleaving.
+			r.inlined.Add(1)
+			r.exec(body, scope)
+			scope.Done()
+			return
+		}
+	}
+	r.spawned.Add(1)
+	live := r.live.Add(1)
+	for {
+		prev := r.maxLive.Load()
+		if live <= prev || r.maxLive.CompareAndSwap(prev, live) {
+			break
+		}
+	}
+	go func() {
+		defer func() {
+			r.live.Add(-1)
+			if r.sem != nil {
+				<-r.sem
+			}
+			scope.Done()
+		}()
+		r.exec(body, scope)
+	}()
+}

@@ -1,0 +1,260 @@
+package runtime
+
+import (
+	"errors"
+	"testing"
+
+	"fx10/internal/explore"
+	"fx10/internal/fixtures"
+	"fx10/internal/parser"
+)
+
+func TestSequentialProgram(t *testing.T) {
+	p := parser.MustParse(`
+array 3;
+void main() {
+  a[0] = 41;
+  a[1] = a[0] + 1;
+  a[2] = a[1] + 1;
+}
+`)
+	res, err := Run(p, nil, Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Array[0] != 41 || res.Array[1] != 42 || res.Array[2] != 43 {
+		t.Fatalf("array = %v", res.Array)
+	}
+	if res.Spawned != 0 {
+		t.Fatalf("spawned %d goroutines for sequential program", res.Spawned)
+	}
+}
+
+func TestFinishJoinsTransitively(t *testing.T) {
+	// Nested asyncs inside one finish: the finish must wait for all
+	// of them, including async-spawned asyncs.
+	p := parser.MustParse(`
+array 4;
+void main() {
+  finish {
+    async {
+      async { a[0] = 1; }
+      a[1] = 1;
+    }
+    async { a[2] = 1; }
+  }
+  a[3] = a[0] + 1;
+}
+`)
+	for trial := 0; trial < 200; trial++ {
+		res, err := Run(p, nil, Options{})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if res.Array[0] != 1 || res.Array[1] != 1 || res.Array[2] != 1 {
+			t.Fatalf("trial %d: asyncs not joined: %v", trial, res.Array)
+		}
+		if res.Array[3] != 2 {
+			t.Fatalf("trial %d: finish did not order the read: %v", trial, res.Array)
+		}
+	}
+}
+
+func TestInnerFinishScopes(t *testing.T) {
+	// An inner finish opens its own scope: the outer statement after
+	// the inner finish must observe the inner async's write.
+	p := parser.MustParse(`
+array 2;
+void main() {
+  async {
+    finish {
+      async { a[0] = 7; }
+    }
+    a[1] = a[0] + 1;
+  }
+}
+`)
+	for trial := 0; trial < 100; trial++ {
+		res, err := Run(p, nil, Options{})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if res.Array[1] != 8 {
+			t.Fatalf("trial %d: inner finish did not wait: %v", trial, res.Array)
+		}
+	}
+}
+
+// Differential test against the formal semantics: every observed
+// final array of a racy program must be a final state the
+// interleaving semantics can reach.
+func TestDifferentialAgainstExplorer(t *testing.T) {
+	src := `
+array 2;
+void main() {
+  async { a[0] = 10; }
+  a[1] = a[0] + 1;
+}
+`
+	p := parser.MustParse(src)
+	finals, complete := explore.ReachableFinals(p, nil, 1_000_000)
+	if !complete {
+		t.Fatalf("exploration incomplete")
+	}
+	seen := map[string]bool{}
+	for trial := 0; trial < 300; trial++ {
+		res, err := Run(p, nil, Options{})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		key := ""
+		for _, v := range res.Array {
+			key += string(rune('0'+v)) + ","
+		}
+		_ = key
+		found := false
+		for _, f := range finals {
+			match := len(f) == len(res.Array)
+			for i := range f {
+				if f[i] != res.Array[i] {
+					match = false
+				}
+			}
+			if match {
+				found = true
+				seen[f.Key()] = true
+			}
+		}
+		if !found {
+			t.Fatalf("runtime reached array %v unreachable in the formal semantics", res.Array)
+		}
+	}
+	if len(seen) == 0 {
+		t.Fatalf("no finals observed")
+	}
+}
+
+func TestPaperExamplesRun(t *testing.T) {
+	for _, src := range []string{fixtures.Example21Source, fixtures.Example22Source} {
+		p := parser.MustParse(src)
+		res, err := Run(p, nil, Options{})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if res.Spawned+res.Inlined == 0 {
+			t.Fatalf("no asyncs executed")
+		}
+	}
+}
+
+func TestFuelExhaustion(t *testing.T) {
+	p := parser.MustParse(`
+array 1;
+void main() {
+  a[0] = 1;
+  while (a[0] != 0) { skip; }
+}
+`)
+	_, err := Run(p, nil, Options{MaxSteps: 1000})
+	if !errors.Is(err, ErrFuelExhausted) {
+		t.Fatalf("err = %v, want ErrFuelExhausted", err)
+	}
+}
+
+func TestFuelExhaustionInAsync(t *testing.T) {
+	// Divergence inside an async must also abort the whole run
+	// rather than hanging the join.
+	p := parser.MustParse(`
+array 1;
+void main() {
+  finish {
+    async {
+      a[0] = 1;
+      while (a[0] != 0) { skip; }
+    }
+  }
+}
+`)
+	_, err := Run(p, nil, Options{MaxSteps: 1000})
+	if !errors.Is(err, ErrFuelExhausted) {
+		t.Fatalf("err = %v, want ErrFuelExhausted", err)
+	}
+}
+
+func TestGoroutineBoundInlines(t *testing.T) {
+	p := parser.MustParse(`
+array 1;
+void main() {
+  finish {
+    async { async { async { async { skip; } } } }
+    async { skip; }
+    async { skip; }
+    async { skip; }
+  }
+}
+`)
+	res, err := Run(p, nil, Options{MaxGoroutines: 1})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Inlined == 0 {
+		t.Fatalf("bound 1 did not inline any asyncs (spawned=%d)", res.Spawned)
+	}
+	if res.MaxLive > 1 {
+		t.Fatalf("MaxLive = %d exceeds bound", res.MaxLive)
+	}
+}
+
+func TestManyAsyncsFanOut(t *testing.T) {
+	// A fan-out of asyncs via recursion-free repetition: the runtime
+	// must join them all.
+	src := `
+array 8;
+void w0() { async { a[0] = 1; } }
+void w1() { async { a[1] = 1; } }
+void w2() { async { a[2] = 1; } }
+void w3() { async { a[3] = 1; } }
+void main() {
+  finish {
+    w0(); w1(); w2(); w3();
+    w0(); w1(); w2(); w3();
+  }
+  a[4] = a[0] + 1;
+}
+`
+	p := parser.MustParse(src)
+	res, err := Run(p, nil, Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for d := 0; d < 4; d++ {
+		if res.Array[d] != 1 {
+			t.Fatalf("worker %d write lost: %v", d, res.Array)
+		}
+	}
+	if res.Array[4] != 2 {
+		t.Fatalf("join ordering broken: %v", res.Array)
+	}
+	if res.Spawned+res.Inlined != 8 {
+		t.Fatalf("asyncs executed = %d, want 8", res.Spawned+res.Inlined)
+	}
+}
+
+func TestGuardReCheckCountsSteps(t *testing.T) {
+	// A loop that exits normally must count guard re-checks but not
+	// abort within a generous budget.
+	p := parser.MustParse(`
+array 2;
+void main() {
+  a[0] = 1;
+  while (a[0] != 0) { a[0] = 0; }
+}
+`)
+	res, err := Run(p, nil, Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Steps < 4 { // assign, while, body assign, re-check
+		t.Fatalf("steps = %d, want ≥ 4", res.Steps)
+	}
+}

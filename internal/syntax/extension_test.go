@@ -1,0 +1,175 @@
+package syntax
+
+import (
+	"strings"
+	"testing"
+)
+
+// The clock/place extension surface of the builder and printer.
+func TestClockedAndPlacedConstruction(t *testing.T) {
+	b := NewBuilder(2)
+	b.MustAddMethod("main", b.Stmts(
+		b.ClockedAsync("C", b.Stmts(
+			b.Assign("W", 0, Const{C: 1}),
+			b.Next("N"),
+			b.Assign("R", 1, Plus{D: 0}),
+		)),
+		b.AsyncAt("P", 3, b.Stmts(b.Skip("S"))),
+		b.Next("NM"),
+	))
+	p := b.MustProgram()
+
+	c, _ := p.LabelByName("C")
+	a := p.Labels[c].Instr.(*Async)
+	if !a.Clocked || a.Place != 0 {
+		t.Fatalf("clocked async fields wrong: %+v", a)
+	}
+	pl, _ := p.LabelByName("P")
+	if got := p.Labels[pl].Instr.(*Async); got.Place != 3 || got.Clocked {
+		t.Fatalf("placed async fields wrong: %+v", got)
+	}
+	n, _ := p.LabelByName("N")
+	if p.Labels[n].Kind != KindNext {
+		t.Fatalf("next kind = %v", p.Labels[n].Kind)
+	}
+	if KindNext.String() != "next" {
+		t.Fatalf("KindNext string = %q", KindNext.String())
+	}
+
+	out := Print(p)
+	for _, frag := range []string{
+		"C: clocked async {",
+		"P: async at (3) {",
+		"NM: next;",
+		"N: next;",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("Print missing %q:\n%s", frag, out)
+		}
+	}
+
+	// One-line forms.
+	var lines []string
+	p.EachInstr(func(_ int, i Instr) { lines = append(lines, InstrString(p, i)) })
+	joined := strings.Join(lines, "\n")
+	for _, frag := range []string{"N: next", "W: a[0] = 1", "R: a[1] = a[0] + 1", "C: async {…}", "P: async {…}"} {
+		if !strings.Contains(joined, frag) {
+			t.Fatalf("InstrString missing %q in:\n%s", frag, joined)
+		}
+	}
+
+	// PrintStmt renders a bare statement.
+	if got := PrintStmt(p, p.Main().Body); !strings.Contains(got, "clocked async") {
+		t.Fatalf("PrintStmt output: %s", got)
+	}
+}
+
+func TestLabelNameOutOfRange(t *testing.T) {
+	b := NewBuilder(1)
+	b.MustAddMethod("main", b.Stmts(b.Skip("")))
+	p := b.MustProgram()
+	if got := p.LabelName(Label(-1)); !strings.Contains(got, "?") {
+		t.Fatalf("LabelName(-1) = %q", got)
+	}
+	if got := p.LabelName(Label(99)); !strings.Contains(got, "?") {
+		t.Fatalf("LabelName(99) = %q", got)
+	}
+	if _, ok := p.LabelByName("nope"); ok {
+		t.Fatalf("LabelByName found a ghost")
+	}
+}
+
+func TestMustAddMethodPanicsOnDuplicate(t *testing.T) {
+	b := NewBuilder(1)
+	b.MustAddMethod("main", b.Stmts(b.Skip("")))
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("duplicate MustAddMethod did not panic")
+		}
+	}()
+	b.MustAddMethod("main", b.Stmts(b.Skip("")))
+}
+
+func TestMustProgramPanicsOnInvalid(t *testing.T) {
+	b := NewBuilder(1)
+	b.MustAddMethod("notmain", b.Stmts(b.Skip("")))
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("MustProgram did not panic without main")
+		}
+	}()
+	b.MustProgram()
+}
+
+// Validation of extension-specific failure modes.
+func TestValidateExtensionErrors(t *testing.T) {
+	// Negative place.
+	b := NewBuilder(1)
+	b.MustAddMethod("main", b.Stmts(b.AsyncAt("", -2, b.Stmts(b.Skip("")))))
+	if _, err := b.Program(); err == nil || !strings.Contains(err.Error(), "place") {
+		t.Fatalf("negative place not rejected: %v", err)
+	}
+
+	// MainIndex naming mismatch crafted directly.
+	b2 := NewBuilder(1)
+	b2.MustAddMethod("main", b2.Stmts(b2.Skip("")))
+	p := b2.MustProgram()
+	p.Methods[0].Name = "renamed"
+	if err := Validate(p); err == nil {
+		t.Fatalf("renamed main not rejected")
+	}
+
+	// Label kind mismatch crafted directly.
+	b3 := NewBuilder(1)
+	b3.MustAddMethod("main", b3.Stmts(b3.Skip("K")))
+	q := b3.MustProgram()
+	q.Labels[0].Kind = KindAsync
+	if err := Validate(q); err == nil {
+		t.Fatalf("kind mismatch not rejected")
+	}
+
+	// Nil instruction in a spine.
+	b4 := NewBuilder(1)
+	b4.MustAddMethod("main", b4.Stmts(b4.Skip("")))
+	r := b4.MustProgram()
+	r.Methods[0].Body.Instr = nil
+	if err := Validate(r); err == nil {
+		t.Fatalf("nil instruction not rejected")
+	}
+
+	// Nil method body.
+	b5 := NewBuilder(1)
+	b5.MustAddMethod("main", b5.Stmts(b5.Skip("")))
+	s := b5.MustProgram()
+	s.Methods[0].Body = nil
+	if err := Validate(s); err == nil {
+		t.Fatalf("nil body not rejected")
+	}
+
+	// No methods at all.
+	if err := Validate(&Program{ArrayLen: 1}); err == nil {
+		t.Fatalf("empty program not rejected")
+	}
+}
+
+func TestValidateNestedBodyErrors(t *testing.T) {
+	// Empty while body crafted directly.
+	b := NewBuilder(1)
+	b.MustAddMethod("main", b.Stmts(b.While("W", 0, b.Stmts(b.Skip("I")))))
+	p := b.MustProgram()
+	w, _ := p.LabelByName("W")
+	p.Labels[w].Instr.(*While).Body = nil
+	p.Methods[0].Body.Instr.(*While).Body = nil
+	if err := Validate(p); err == nil {
+		t.Fatalf("empty while body not rejected")
+	}
+
+	// Unused label: drop an instruction from the spine.
+	b2 := NewBuilder(1)
+	b2.MustAddMethod("main", b2.Stmts(b2.Skip("A"), b2.Skip("B")))
+	q := b2.MustProgram()
+	q.Methods[0].Body.Next = nil // B's label is now orphaned
+	if err := Validate(q); err == nil || !strings.Contains(err.Error(), "not attached") {
+		t.Fatalf("orphan label not rejected: %v", err)
+	}
+}

@@ -1,0 +1,98 @@
+package syntax
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders the program in the concrete syntax accepted by
+// internal/parser, with every label written explicitly so the result
+// round-trips (modulo auto-generated label names, which are preserved
+// verbatim).
+func Print(p *Program) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "array %d;\n\n", p.ArrayLen)
+	for mi, m := range p.Methods {
+		if mi > 0 {
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "void %s() {\n", m.Name)
+		printStmt(&b, p, m.Body, 1)
+		b.WriteString("}\n")
+	}
+	return b.String()
+}
+
+// PrintStmt renders one statement in concrete syntax at the given
+// indent depth. Useful for diagnostics and tree display.
+func PrintStmt(p *Program, s *Stmt) string {
+	var b strings.Builder
+	printStmt(&b, p, s, 0)
+	return b.String()
+}
+
+func printStmt(b *strings.Builder, p *Program, s *Stmt, depth int) {
+	for cur := s; cur != nil; cur = cur.Next {
+		printInstr(b, p, cur.Instr, depth)
+	}
+}
+
+func printInstr(b *strings.Builder, p *Program, i Instr, depth int) {
+	ind := strings.Repeat("  ", depth)
+	lbl := p.LabelName(i.Label())
+	switch i := i.(type) {
+	case *Skip:
+		fmt.Fprintf(b, "%s%s: skip;\n", ind, lbl)
+	case *Assign:
+		fmt.Fprintf(b, "%s%s: a[%d] = %s;\n", ind, lbl, i.D, i.Rhs)
+	case *While:
+		fmt.Fprintf(b, "%s%s: while (a[%d] != 0) {\n", ind, lbl, i.D)
+		printStmt(b, p, i.Body, depth+1)
+		fmt.Fprintf(b, "%s}\n", ind)
+	case *Async:
+		kw := "async"
+		if i.Clocked {
+			kw = "clocked async"
+		}
+		if i.Place != 0 {
+			fmt.Fprintf(b, "%s%s: %s at (%d) {\n", ind, lbl, kw, i.Place)
+		} else {
+			fmt.Fprintf(b, "%s%s: %s {\n", ind, lbl, kw)
+		}
+		printStmt(b, p, i.Body, depth+1)
+		fmt.Fprintf(b, "%s}\n", ind)
+	case *Finish:
+		fmt.Fprintf(b, "%s%s: finish {\n", ind, lbl)
+		printStmt(b, p, i.Body, depth+1)
+		fmt.Fprintf(b, "%s}\n", ind)
+	case *Call:
+		fmt.Fprintf(b, "%s%s: %s();\n", ind, lbl, i.Name)
+	case *Next:
+		fmt.Fprintf(b, "%s%s: next;\n", ind, lbl)
+	default:
+		fmt.Fprintf(b, "%s%s: ???;\n", ind, lbl)
+	}
+}
+
+// InstrString renders a single instruction on one line (bodies
+// elided), for diagnostics.
+func InstrString(p *Program, i Instr) string {
+	lbl := p.LabelName(i.Label())
+	switch i := i.(type) {
+	case *Skip:
+		return fmt.Sprintf("%s: skip", lbl)
+	case *Assign:
+		return fmt.Sprintf("%s: a[%d] = %s", lbl, i.D, i.Rhs)
+	case *While:
+		return fmt.Sprintf("%s: while (a[%d] != 0) {…}", lbl, i.D)
+	case *Async:
+		return fmt.Sprintf("%s: async {…}", lbl)
+	case *Finish:
+		return fmt.Sprintf("%s: finish {…}", lbl)
+	case *Call:
+		return fmt.Sprintf("%s: %s()", lbl, i.Name)
+	case *Next:
+		return fmt.Sprintf("%s: next", lbl)
+	}
+	return lbl + ": ???"
+}

@@ -1,0 +1,311 @@
+package syntax
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildExample22 constructs the Section 2.2 example:
+//
+//	void f() { async S5 }
+//	void main() {
+//	  S1: finish { async S3  f() }
+//	  S2: finish { f()  async S4 }
+//	}
+func buildExample22(t *testing.T) *Program {
+	t.Helper()
+	b := NewBuilder(4)
+	b.MustAddMethod("f", b.Stmts(
+		b.Async("A5", b.Stmts(b.Skip("S5"))),
+	))
+	b.MustAddMethod("main", b.Stmts(
+		b.Finish("S1", b.Stmts(
+			b.Async("A3", b.Stmts(b.Skip("S3"))),
+			b.Call("C1", "f"),
+		)),
+		b.Finish("S2", b.Stmts(
+			b.Call("C2", "f"),
+			b.Async("A4", b.Stmts(b.Skip("S4"))),
+		)),
+	))
+	p, err := b.Program()
+	if err != nil {
+		t.Fatalf("Program: %v", err)
+	}
+	return p
+}
+
+func TestBuilderExample22(t *testing.T) {
+	p := buildExample22(t)
+	if got := len(p.Methods); got != 2 {
+		t.Fatalf("methods = %d, want 2", got)
+	}
+	if p.Main().Name != "main" {
+		t.Fatalf("main method = %q", p.Main().Name)
+	}
+	if p.NumLabels() != 10 {
+		t.Fatalf("labels = %d, want 10", p.NumLabels())
+	}
+	fi, ok := p.MethodIndex("f")
+	if !ok {
+		t.Fatalf("method f missing")
+	}
+	// The call C1 must resolve to f.
+	var call *Call
+	p.Main().Body.EachDeep(func(i Instr) {
+		if c, isCall := i.(*Call); isCall && p.LabelName(c.L) == "C1" {
+			call = c
+		}
+	})
+	if call == nil || call.Method != fi {
+		t.Fatalf("call C1 unresolved: %+v", call)
+	}
+}
+
+func TestLabelMetadata(t *testing.T) {
+	p := buildExample22(t)
+	s5, ok := p.LabelByName("S5")
+	if !ok {
+		t.Fatalf("label S5 missing")
+	}
+	a5, _ := p.LabelByName("A5")
+	info := p.Labels[s5]
+	fi, _ := p.MethodIndex("f")
+	if info.Method != fi {
+		t.Fatalf("S5 method = %d, want %d (f)", info.Method, fi)
+	}
+	if info.AsyncBody != a5 {
+		t.Fatalf("S5 async body = %v, want %v", info.AsyncBody, a5)
+	}
+	s1, _ := p.LabelByName("S1")
+	if p.Labels[s1].AsyncBody != NoLabel {
+		t.Fatalf("S1 should not be inside an async body")
+	}
+	if p.Labels[s1].Kind != KindFinish {
+		t.Fatalf("S1 kind = %v, want finish", p.Labels[s1].Kind)
+	}
+	// A nested statement inside an async inside a while stays attached
+	// to the async.
+	b := NewBuilder(2)
+	b.MustAddMethod("main", b.Stmts(
+		b.Async("A", b.Stmts(
+			b.While("W", 0, b.Stmts(b.Skip("I"))),
+		)),
+	))
+	q := b.MustProgram()
+	iL, _ := q.LabelByName("I")
+	aL, _ := q.LabelByName("A")
+	if q.Labels[iL].AsyncBody != aL {
+		t.Fatalf("I async body = %v, want %v", q.Labels[iL].AsyncBody, aL)
+	}
+}
+
+func TestAsyncLabels(t *testing.T) {
+	p := buildExample22(t)
+	asyncs := p.AsyncLabels()
+	if len(asyncs) != 3 {
+		t.Fatalf("async labels = %d, want 3", len(asyncs))
+	}
+	names := map[string]bool{}
+	for _, l := range asyncs {
+		names[p.LabelName(l)] = true
+	}
+	for _, want := range []string{"A3", "A4", "A5"} {
+		if !names[want] {
+			t.Fatalf("async label %s missing (have %v)", want, names)
+		}
+	}
+}
+
+func TestSeqSemantics(t *testing.T) {
+	b := NewBuilder(2)
+	i1 := b.Skip("X")
+	i2 := b.Skip("Y")
+	i3 := b.Skip("Z")
+	s1 := b.Stmts(i1, i2)
+	s2 := b.Stmts(i3)
+	seq := Seq(s1, s2)
+	if seq.Len() != 3 {
+		t.Fatalf("Seq len = %d, want 3", seq.Len())
+	}
+	var got []Label
+	seq.Each(func(i Instr) { got = append(got, i.Label()) })
+	want := []Label{i1.Label(), i2.Label(), i3.Label()}
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("Seq order = %v, want %v", got, want)
+		}
+	}
+	// s1's spine must be unchanged.
+	if s1.Len() != 2 || s1.Next.Next != nil {
+		t.Fatalf("Seq mutated its first operand")
+	}
+	// Instructions are shared.
+	if seq.Instr != i1 || seq.Next.Instr != i2 || seq.Next.Next.Instr != i3 {
+		t.Fatalf("Seq must share instructions")
+	}
+	// The second operand's spine is shared (tail position).
+	if seq.Next.Next != s2 {
+		t.Fatalf("Seq must reuse the second operand's spine")
+	}
+	if Seq(nil, s2) != s2 || Seq(s1, nil) != s1 {
+		t.Fatalf("Seq with nil operand should return the other")
+	}
+}
+
+func TestSeqAssociativeLabels(t *testing.T) {
+	b := NewBuilder(2)
+	mk := func(n string) *Stmt { return b.Stmts(b.Skip(n)) }
+	sa, sb, sc := mk("a"), mk("b"), mk("c")
+	left := Seq(Seq(sa, sb), sc)
+	right := Seq(sa, Seq(sb, sc))
+	var l1, l2 []Label
+	left.Each(func(i Instr) { l1 = append(l1, i.Label()) })
+	right.Each(func(i Instr) { l2 = append(l2, i.Label()) })
+	if len(l1) != 3 || len(l2) != 3 {
+		t.Fatalf("lengths %d, %d", len(l1), len(l2))
+	}
+	for k := range l1 {
+		if l1[k] != l2[k] {
+			t.Fatalf("Seq not associative on labels: %v vs %v", l1, l2)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	// Undefined callee.
+	b := NewBuilder(2)
+	b.MustAddMethod("main", b.Stmts(b.Call("", "nope")))
+	if _, err := b.Program(); err == nil || !strings.Contains(err.Error(), "undefined method") {
+		t.Fatalf("undefined callee not rejected: %v", err)
+	}
+	// No main.
+	b2 := NewBuilder(2)
+	b2.MustAddMethod("f", b2.Stmts(b2.Skip("")))
+	if _, err := b2.Program(); err == nil || !strings.Contains(err.Error(), "main") {
+		t.Fatalf("missing main not rejected: %v", err)
+	}
+	// Bad array index.
+	b3 := NewBuilder(2)
+	b3.MustAddMethod("main", b3.Stmts(b3.Assign("", 5, Const{C: 1})))
+	if _, err := b3.Program(); err == nil || !strings.Contains(err.Error(), "array index") {
+		t.Fatalf("bad index not rejected: %v", err)
+	}
+	// Bad index inside expression.
+	b4 := NewBuilder(2)
+	b4.MustAddMethod("main", b4.Stmts(b4.Assign("", 0, Plus{D: 9})))
+	if _, err := b4.Program(); err == nil || !strings.Contains(err.Error(), "array index") {
+		t.Fatalf("bad expr index not rejected: %v", err)
+	}
+	// Duplicate method.
+	b5 := NewBuilder(2)
+	b5.MustAddMethod("main", b5.Stmts(b5.Skip("")))
+	if err := b5.AddMethod("main", b5.Stmts(b5.Skip(""))); err == nil {
+		t.Fatalf("duplicate method not rejected")
+	}
+	// Instruction reused in two positions.
+	b6 := NewBuilder(2)
+	i := b6.Skip("dup")
+	b6.MustAddMethod("main", b6.Stmts(i, i))
+	if _, err := b6.Program(); err == nil {
+		t.Fatalf("reused instruction not rejected")
+	}
+	// Zero-length array.
+	b7 := NewBuilder(0)
+	b7.MustAddMethod("main", b7.Stmts(b7.Skip("")))
+	if _, err := b7.Program(); err == nil || !strings.Contains(err.Error(), "array length") {
+		t.Fatalf("zero array not rejected: %v", err)
+	}
+}
+
+func TestEmptyStmtsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Stmts() did not panic")
+		}
+	}()
+	NewBuilder(1).Stmts()
+}
+
+func TestPrintContainsStructure(t *testing.T) {
+	p := buildExample22(t)
+	out := Print(p)
+	for _, frag := range []string{
+		"array 4;",
+		"void f() {",
+		"void main() {",
+		"S1: finish {",
+		"A3: async {",
+		"C1: f();",
+		"S2: finish {",
+		"A4: async {",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("Print output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	p := buildExample22(t)
+	var texts []string
+	p.EachInstr(func(_ int, i Instr) { texts = append(texts, InstrString(p, i)) })
+	joined := strings.Join(texts, "\n")
+	for _, frag := range []string{"S5: skip", "A5: async {…}", "C1: f()", "S1: finish {…}"} {
+		if !strings.Contains(joined, frag) {
+			t.Fatalf("InstrString output missing %q in:\n%s", frag, joined)
+		}
+	}
+}
+
+func TestEachDeepOrder(t *testing.T) {
+	p := buildExample22(t)
+	var names []string
+	p.Main().Body.EachDeep(func(i Instr) { names = append(names, p.LabelName(i.Label())) })
+	want := []string{"S1", "A3", "S3", "C1", "S2", "C2", "A4", "S4"}
+	if len(names) != len(want) {
+		t.Fatalf("EachDeep = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("EachDeep = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindSkip: "skip", KindAssign: "assign", KindWhile: "while",
+		KindAsync: "async", KindFinish: "finish", KindCall: "call",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Fatalf("Kind(%d).String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+	if !strings.Contains(Kind(42).String(), "42") {
+		t.Fatalf("unknown kind string: %q", Kind(42).String())
+	}
+}
+
+func TestExprString(t *testing.T) {
+	if got := (Const{C: 7}).String(); got != "7" {
+		t.Fatalf("Const.String = %q", got)
+	}
+	if got := (Plus{D: 3}).String(); got != "a[3] + 1" {
+		t.Fatalf("Plus.String = %q", got)
+	}
+}
+
+func TestBodyHelper(t *testing.T) {
+	b := NewBuilder(2)
+	sk := b.Skip("")
+	as := b.Async("", b.Stmts(b.Skip("")))
+	if Body(sk) != nil {
+		t.Fatalf("Body(skip) should be nil")
+	}
+	if Body(as) == nil {
+		t.Fatalf("Body(async) should be non-nil")
+	}
+	_ = b // builder not finalized on purpose
+}

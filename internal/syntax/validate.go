@@ -1,0 +1,132 @@
+package syntax
+
+import "fmt"
+
+// Validate checks the structural well-formedness of a program:
+//
+//   - the array length n is positive (the paper requires a non-empty
+//     array) and every array index d satisfies 0 ≤ d < n;
+//   - a method named "main" exists (the paper's f_0);
+//   - every method body is a non-empty statement, as are all nested
+//     while/async/finish bodies;
+//   - every call's resolved method index is in range;
+//   - every label is used by exactly one instruction and its metadata
+//     is consistent.
+func Validate(p *Program) error {
+	if p.ArrayLen <= 0 {
+		return fmt.Errorf("syntax: array length %d, want > 0", p.ArrayLen)
+	}
+	if len(p.Methods) == 0 {
+		return fmt.Errorf("syntax: program has no methods")
+	}
+	if p.MainIndex < 0 || p.MainIndex >= len(p.Methods) {
+		return fmt.Errorf("syntax: program has no main method")
+	}
+	if p.Methods[p.MainIndex].Name != "main" {
+		return fmt.Errorf("syntax: MainIndex names %q, want \"main\"", p.Methods[p.MainIndex].Name)
+	}
+	names := make(map[string]bool, len(p.Labels))
+	for l := range p.Labels {
+		n := p.Labels[l].Name
+		if names[n] {
+			return fmt.Errorf("syntax: duplicate label name %q", n)
+		}
+		names[n] = true
+	}
+	seen := make([]bool, len(p.Labels))
+	for mi, m := range p.Methods {
+		if m.Body == nil {
+			return fmt.Errorf("syntax: method %q has empty body", m.Name)
+		}
+		if err := validateStmt(p, m.Body, mi, seen); err != nil {
+			return fmt.Errorf("syntax: method %q: %w", m.Name, err)
+		}
+	}
+	for l, s := range seen {
+		if !s {
+			return fmt.Errorf("syntax: label %s is not attached to any instruction", p.Labels[l].Name)
+		}
+	}
+	return nil
+}
+
+func validateStmt(p *Program, s *Stmt, method int, seen []bool) error {
+	for cur := s; cur != nil; cur = cur.Next {
+		i := cur.Instr
+		if i == nil {
+			return fmt.Errorf("nil instruction in sequence")
+		}
+		l := i.Label()
+		if l < 0 || int(l) >= len(p.Labels) {
+			return fmt.Errorf("label %d out of range", int(l))
+		}
+		if seen[l] {
+			return fmt.Errorf("label %s attached to two instructions", p.Labels[l].Name)
+		}
+		seen[l] = true
+		info := p.Labels[l]
+		if info.Kind != i.Kind() {
+			return fmt.Errorf("label %s registered as %v but used on %v", info.Name, info.Kind, i.Kind())
+		}
+		if info.Method != method {
+			return fmt.Errorf("label %s annotated with method %d but appears in method %d", info.Name, info.Method, method)
+		}
+		switch i := i.(type) {
+		case *Assign:
+			if err := checkIndex(p, i.D); err != nil {
+				return err
+			}
+			switch e := i.Rhs.(type) {
+			case Const:
+			case Plus:
+				if err := checkIndex(p, e.D); err != nil {
+					return err
+				}
+			default:
+				return fmt.Errorf("label %s: unknown expression %T", info.Name, i.Rhs)
+			}
+		case *While:
+			if err := checkIndex(p, i.D); err != nil {
+				return err
+			}
+			if i.Body == nil {
+				return fmt.Errorf("label %s: empty while body", info.Name)
+			}
+			if err := validateStmt(p, i.Body, method, seen); err != nil {
+				return err
+			}
+		case *Async:
+			if i.Body == nil {
+				return fmt.Errorf("label %s: empty async body", info.Name)
+			}
+			if i.Place < 0 {
+				return fmt.Errorf("label %s: negative place %d", info.Name, i.Place)
+			}
+			if err := validateStmt(p, i.Body, method, seen); err != nil {
+				return err
+			}
+		case *Finish:
+			if i.Body == nil {
+				return fmt.Errorf("label %s: empty finish body", info.Name)
+			}
+			if err := validateStmt(p, i.Body, method, seen); err != nil {
+				return err
+			}
+		case *Call:
+			if i.Method < 0 || i.Method >= len(p.Methods) {
+				return fmt.Errorf("label %s: unresolved call to %q", info.Name, i.Name)
+			}
+			if p.Methods[i.Method].Name != i.Name {
+				return fmt.Errorf("label %s: call resolved to %q, want %q", info.Name, p.Methods[i.Method].Name, i.Name)
+			}
+		}
+	}
+	return nil
+}
+
+func checkIndex(p *Program, d int) error {
+	if d < 0 || d >= p.ArrayLen {
+		return fmt.Errorf("array index %d outside [0,%d)", d, p.ArrayLen)
+	}
+	return nil
+}

@@ -1,0 +1,182 @@
+// Package tree defines the execution trees of the FX10 operational
+// semantics:
+//
+//	T ::= √ | ⟨s⟩ | T1 ▷ T2 | T1 ∥ T2
+//
+// √ (Done) is a completed computation; ⟨s⟩ (a Leaf) is a statement
+// running; T1 ▷ T2 (Fin) requires T1 to complete before T2 may
+// proceed, and is introduced by finish; T1 ∥ T2 (Par) interleaves its
+// subtrees and is introduced by async.
+//
+// Trees are immutable values; the machine produces new trees sharing
+// unchanged subtrees.
+package tree
+
+import (
+	"fmt"
+	"strings"
+
+	"fx10/internal/syntax"
+)
+
+// Tree is an FX10 execution tree.
+type Tree interface {
+	isTree()
+	// Done reports whether the tree is √ (no subcomputation remains).
+	// Only the Done node itself is "done"; a tree like √ ∥ √ still
+	// needs steps to collapse, matching the paper's semantics.
+	Done() bool
+}
+
+// DoneT is √, the completed computation.
+type DoneT struct{}
+
+// Leaf is ⟨s⟩: the statement s running. Place is the place the
+// activity runs at in the Section 8 places extension (0 for core
+// FX10, where all code runs at the same place).
+type Leaf struct {
+	S     *syntax.Stmt
+	Place int
+}
+
+// Fin is T1 ▷ T2: T1 must complete execution before T2 proceeds.
+type Fin struct {
+	L, R Tree
+}
+
+// Par is T1 ∥ T2: interleaved parallel execution of T1 and T2.
+type Par struct {
+	L, R Tree
+}
+
+func (DoneT) isTree() {}
+func (*Leaf) isTree() {}
+func (*Fin) isTree()  {}
+func (*Par) isTree()  {}
+
+func (DoneT) Done() bool { return true }
+func (*Leaf) Done() bool { return false }
+func (*Fin) Done() bool  { return false }
+func (*Par) Done() bool  { return false }
+
+// Done is the canonical √ value.
+var Done Tree = DoneT{}
+
+// NewLeaf returns ⟨s⟩ at place 0.
+func NewLeaf(s *syntax.Stmt) Tree { return &Leaf{S: s} }
+
+// Size returns the number of nodes in the tree.
+func Size(t Tree) int {
+	switch t := t.(type) {
+	case DoneT:
+		return 1
+	case *Leaf:
+		return 1
+	case *Fin:
+		return 1 + Size(t.L) + Size(t.R)
+	case *Par:
+		return 1 + Size(t.L) + Size(t.R)
+	}
+	panic(fmt.Sprintf("tree: unknown tree %T", t))
+}
+
+// Leaves returns the ⟨s⟩ leaves of the tree in left-to-right order.
+func Leaves(t Tree) []*Leaf {
+	var out []*Leaf
+	var walk func(Tree)
+	walk = func(t Tree) {
+		switch t := t.(type) {
+		case *Leaf:
+			out = append(out, t)
+		case *Fin:
+			walk(t.L)
+			walk(t.R)
+		case *Par:
+			walk(t.L)
+			walk(t.R)
+		}
+	}
+	walk(t)
+	return out
+}
+
+// String renders the tree with ∥ and ▷ spelled "||" and ">>", leaves
+// as "<first-label…>" and √ as "OK".
+func String(p *syntax.Program, t Tree) string {
+	var b strings.Builder
+	writeTree(&b, p, t)
+	return b.String()
+}
+
+func writeTree(b *strings.Builder, p *syntax.Program, t Tree) {
+	switch t := t.(type) {
+	case DoneT:
+		b.WriteString("OK")
+	case *Leaf:
+		b.WriteByte('<')
+		first := true
+		t.S.Each(func(i syntax.Instr) {
+			if !first {
+				b.WriteByte(' ')
+			}
+			first = false
+			b.WriteString(p.LabelName(i.Label()))
+		})
+		if t.Place != 0 {
+			fmt.Fprintf(b, "@%d", t.Place)
+		}
+		b.WriteByte('>')
+	case *Fin:
+		b.WriteByte('(')
+		writeTree(b, p, t.L)
+		b.WriteString(" >> ")
+		writeTree(b, p, t.R)
+		b.WriteByte(')')
+	case *Par:
+		b.WriteByte('(')
+		writeTree(b, p, t.L)
+		b.WriteString(" || ")
+		writeTree(b, p, t.R)
+		b.WriteByte(')')
+	}
+}
+
+// Key returns a canonical string identity for the tree, used by the
+// exhaustive explorer to deduplicate states. Two trees have equal keys
+// iff they are structurally identical with identical statement spines
+// (instruction labels in sequence).
+func Key(t Tree) string {
+	var b strings.Builder
+	writeKey(&b, t)
+	return b.String()
+}
+
+func writeKey(b *strings.Builder, t Tree) {
+	switch t := t.(type) {
+	case DoneT:
+		b.WriteByte('D')
+	case *Leaf:
+		b.WriteByte('<')
+		for cur := t.S; cur != nil; cur = cur.Next {
+			fmt.Fprintf(b, "%d,", int(cur.Instr.Label()))
+		}
+		if t.Place != 0 {
+			fmt.Fprintf(b, "@%d", t.Place)
+		}
+		b.WriteByte('>')
+	case *Fin:
+		b.WriteByte('F')
+		b.WriteByte('(')
+		writeKey(b, t.L)
+		b.WriteByte(',')
+		writeKey(b, t.R)
+		b.WriteByte(')')
+	case *Par:
+		b.WriteByte('P')
+		b.WriteByte('(')
+		writeKey(b, t.L)
+		b.WriteByte(',')
+		writeKey(b, t.R)
+		b.WriteByte(')')
+	}
+}

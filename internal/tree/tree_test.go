@@ -1,0 +1,109 @@
+package tree
+
+import (
+	"strings"
+	"testing"
+
+	"fx10/internal/syntax"
+)
+
+func prog(t *testing.T) (*syntax.Program, *syntax.Stmt, *syntax.Stmt) {
+	t.Helper()
+	b := syntax.NewBuilder(2)
+	s1 := b.Stmts(b.Skip("X"), b.Skip("Y"))
+	s2 := b.Stmts(b.Skip("Z"))
+	b.MustAddMethod("main", syntax.Seq(s1, s2))
+	p, err := b.Program()
+	if err != nil {
+		t.Fatalf("Program: %v", err)
+	}
+	return p, s1, s2
+}
+
+func TestDone(t *testing.T) {
+	if !Done.Done() {
+		t.Fatalf("Done.Done() = false")
+	}
+	_, s1, _ := prog(t)
+	for _, tr := range []Tree{NewLeaf(s1), &Fin{L: Done, R: Done}, &Par{L: Done, R: Done}} {
+		if tr.Done() {
+			t.Fatalf("%T should not be done", tr)
+		}
+	}
+}
+
+func TestSizeAndLeaves(t *testing.T) {
+	_, s1, s2 := prog(t)
+	tr := &Fin{L: &Par{L: NewLeaf(s1), R: Done}, R: NewLeaf(s2)}
+	if got := Size(tr); got != 5 {
+		t.Fatalf("Size = %d, want 5", got)
+	}
+	lv := Leaves(tr)
+	if len(lv) != 2 || lv[0].S != s1 || lv[1].S != s2 {
+		t.Fatalf("Leaves wrong: %v", lv)
+	}
+}
+
+func TestString(t *testing.T) {
+	p, s1, s2 := prog(t)
+	tr := &Par{L: &Fin{L: NewLeaf(s1), R: Done}, R: NewLeaf(s2)}
+	got := String(p, tr)
+	want := "((<X Y> >> OK) || <Z>)"
+	if got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+}
+
+func TestStringPlace(t *testing.T) {
+	p, s1, _ := prog(t)
+	got := String(p, &Leaf{S: s1, Place: 3})
+	if !strings.Contains(got, "@3") {
+		t.Fatalf("String of placed leaf = %q, want @3 marker", got)
+	}
+}
+
+func TestKeyDistinguishes(t *testing.T) {
+	_, s1, s2 := prog(t)
+	cases := []Tree{
+		Done,
+		NewLeaf(s1),
+		NewLeaf(s2),
+		&Leaf{S: s1, Place: 1},
+		&Fin{L: NewLeaf(s1), R: NewLeaf(s2)},
+		&Fin{L: NewLeaf(s2), R: NewLeaf(s1)},
+		&Par{L: NewLeaf(s1), R: NewLeaf(s2)},
+		&Par{L: NewLeaf(s2), R: NewLeaf(s1)},
+		&Par{L: Done, R: NewLeaf(s1)},
+	}
+	seen := map[string]int{}
+	for i, tr := range cases {
+		k := Key(tr)
+		if j, dup := seen[k]; dup {
+			t.Fatalf("trees %d and %d share key %q", i, j, k)
+		}
+		seen[k] = i
+	}
+}
+
+func TestKeyEqualForEqualTrees(t *testing.T) {
+	_, s1, s2 := prog(t)
+	a := &Par{L: NewLeaf(s1), R: &Fin{L: Done, R: NewLeaf(s2)}}
+	b := &Par{L: NewLeaf(s1), R: &Fin{L: Done, R: NewLeaf(s2)}}
+	if Key(a) != Key(b) {
+		t.Fatalf("structurally equal trees have different keys")
+	}
+}
+
+func TestKeySeqSpineSensitive(t *testing.T) {
+	// Keys must reflect the full instruction spine, not just the head:
+	// ⟨X Y⟩ and ⟨X⟩ differ.
+	b := syntax.NewBuilder(2)
+	x := b.Skip("x")
+	y := b.Skip("y")
+	long := b.Stmts(x, y)
+	short := b.Stmts(x)
+	_ = y
+	if Key(NewLeaf(long)) == Key(NewLeaf(short)) {
+		t.Fatalf("keys ignore statement tails")
+	}
+}

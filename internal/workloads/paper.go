@@ -1,0 +1,151 @@
+package workloads
+
+// PaperRow records the published per-benchmark numbers from the
+// paper's Figures 6, 7, 8 and 9, used by internal/experiments to
+// print paper-vs-measured comparisons.
+type PaperRow struct {
+	// Figure 6.
+	LOC         int
+	AsyncTotal  int
+	AsyncLoop   int
+	AsyncPlace  int
+	SlabelsCons int
+	Level1Cons  int
+	Level2Cons  int
+	// Figure 7.
+	Nodes NodeRow
+	// Figure 8 (context-sensitive analysis).
+	TimeMS     int
+	SpaceMB    int
+	IterSlab   int
+	IterL1     int
+	IterL2     int
+	PairsTotal int
+	PairsSelf  int
+	PairsSame  int
+	PairsDiff  int
+	// Figure 9 (context-insensitive comparison; only reported for mg
+	// and plasma).
+	CI *PaperCIRow
+}
+
+// NodeRow is a Figure 7 row.
+type NodeRow struct {
+	Total, End, Async, Call, Finish, If, Loop, Method, Return, Skip, Switch int
+}
+
+// PaperCIRow is a Figure 9 context-insensitive row.
+type PaperCIRow struct {
+	TimeMS     int
+	SpaceMB    int
+	IterSlab   int
+	IterL1     int
+	IterL2     int
+	PairsTotal int
+	PairsSelf  int
+	PairsSame  int
+	PairsDiff  int
+}
+
+// paperRows transcribes Figures 6–9 of the paper.
+var paperRows = map[string]PaperRow{
+	"stream": {
+		LOC: 70, AsyncTotal: 4, AsyncLoop: 3, AsyncPlace: 1,
+		SlabelsCons: 103, Level1Cons: 232, Level2Cons: 103,
+		Nodes:  NodeRow{Total: 126, End: 23, Async: 4, Call: 5, Finish: 4, If: 3, Loop: 10, Method: 20, Return: 21, Skip: 36},
+		TimeMS: 153, SpaceMB: 5, IterSlab: 3, IterL1: 2, IterL2: 2,
+		PairsTotal: 5, PairsSelf: 4, PairsSame: 1, PairsDiff: 0,
+	},
+	"fragstream": {
+		LOC: 73, AsyncTotal: 4, AsyncLoop: 3, AsyncPlace: 1,
+		SlabelsCons: 103, Level1Cons: 232, Level2Cons: 103,
+		Nodes:  NodeRow{Total: 126, End: 23, Async: 4, Call: 5, Finish: 4, If: 3, Loop: 10, Method: 20, Return: 21, Skip: 36},
+		TimeMS: 158, SpaceMB: 5, IterSlab: 3, IterL1: 2, IterL2: 2,
+		PairsTotal: 5, PairsSelf: 4, PairsSame: 1, PairsDiff: 0,
+	},
+	"sor": {
+		LOC: 185, AsyncTotal: 7, AsyncLoop: 2, AsyncPlace: 5,
+		SlabelsCons: 132, Level1Cons: 298, Level2Cons: 132,
+		Nodes:  NodeRow{Total: 161, End: 29, Async: 7, Call: 21, Finish: 5, If: 1, Loop: 7, Method: 24, Return: 16, Skip: 51},
+		TimeMS: 219, SpaceMB: 6, IterSlab: 5, IterL1: 2, IterL2: 3,
+		PairsTotal: 13, PairsSelf: 6, PairsSame: 3, PairsDiff: 4,
+	},
+	"series": {
+		LOC: 290, AsyncTotal: 3, AsyncLoop: 1, AsyncPlace: 2,
+		SlabelsCons: 90, Level1Cons: 224, Level2Cons: 90,
+		Nodes:  NodeRow{Total: 119, End: 29, Async: 3, Call: 17, Finish: 2, If: 3, Loop: 7, Method: 14, Return: 7, Skip: 36, Switch: 1},
+		TimeMS: 230, SpaceMB: 9, IterSlab: 4, IterL1: 2, IterL2: 4,
+		PairsTotal: 1, PairsSelf: 1, PairsSame: 0, PairsDiff: 0,
+	},
+	"sparsemm": {
+		LOC: 366, AsyncTotal: 4, AsyncLoop: 1, AsyncPlace: 3,
+		SlabelsCons: 173, Level1Cons: 370, Level2Cons: 173,
+		Nodes:  NodeRow{Total: 201, End: 28, Async: 4, Call: 25, Finish: 3, If: 0, Loop: 16, Method: 32, Return: 27, Skip: 66},
+		TimeMS: 225, SpaceMB: 8, IterSlab: 4, IterL1: 2, IterL2: 3,
+		PairsTotal: 3, PairsSelf: 2, PairsSame: 1, PairsDiff: 0,
+	},
+	"crypt": {
+		LOC: 562, AsyncTotal: 2, AsyncLoop: 2, AsyncPlace: 0,
+		SlabelsCons: 149, Level1Cons: 326, Level2Cons: 149,
+		Nodes:  NodeRow{Total: 175, End: 26, Async: 2, Call: 25, Finish: 2, If: 5, Loop: 9, Method: 24, Return: 21, Skip: 61},
+		TimeMS: 218, SpaceMB: 8, IterSlab: 4, IterL1: 2, IterL2: 2,
+		PairsTotal: 2, PairsSelf: 2, PairsSame: 0, PairsDiff: 0,
+	},
+	"moldyn": {
+		LOC: 699, AsyncTotal: 14, AsyncLoop: 6, AsyncPlace: 8,
+		SlabelsCons: 241, Level1Cons: 596, Level2Cons: 241,
+		Nodes:  NodeRow{Total: 316, End: 75, Async: 14, Call: 25, Finish: 14, If: 2, Loop: 29, Method: 36, Return: 22, Skip: 99},
+		TimeMS: 420, SpaceMB: 24, IterSlab: 5, IterL1: 2, IterL2: 3,
+		PairsTotal: 59, PairsSelf: 14, PairsSame: 36, PairsDiff: 9,
+	},
+	"linpack": {
+		LOC: 781, AsyncTotal: 8, AsyncLoop: 3, AsyncPlace: 5,
+		SlabelsCons: 225, Level1Cons: 547, Level2Cons: 225,
+		Nodes:  NodeRow{Total: 286, End: 61, Async: 8, Call: 42, Finish: 6, If: 10, Loop: 19, Method: 25, Return: 17, Skip: 98},
+		TimeMS: 331, SpaceMB: 13, IterSlab: 4, IterL1: 3, IterL2: 3,
+		PairsTotal: 10, PairsSelf: 6, PairsSame: 1, PairsDiff: 3,
+	},
+	"raytracer": {
+		LOC: 1205, AsyncTotal: 13, AsyncLoop: 2, AsyncPlace: 11,
+		SlabelsCons: 478, Level1Cons: 1045, Level2Cons: 478,
+		Nodes:  NodeRow{Total: 555, End: 77, Async: 13, Call: 132, Finish: 9, If: 16, Loop: 8, Method: 65, Return: 50, Skip: 185},
+		TimeMS: 3105, SpaceMB: 173, IterSlab: 5, IterL1: 2, IterL2: 4,
+		PairsTotal: 49, PairsSelf: 13, PairsSame: 24, PairsDiff: 12,
+	},
+	"montecarlo": {
+		LOC: 3153, AsyncTotal: 3, AsyncLoop: 1, AsyncPlace: 2,
+		SlabelsCons: 345, Level1Cons: 727, Level2Cons: 345,
+		Nodes:  NodeRow{Total: 405, End: 60, Async: 3, Call: 80, Finish: 3, If: 2, Loop: 6, Method: 83, Return: 39, Skip: 129},
+		TimeMS: 1403, SpaceMB: 132, IterSlab: 6, IterL1: 2, IterL2: 4,
+		PairsTotal: 4, PairsSelf: 3, PairsSame: 1, PairsDiff: 0,
+	},
+	"mg": {
+		LOC: 1858, AsyncTotal: 57, AsyncLoop: 37, AsyncPlace: 20,
+		SlabelsCons: 1028, Level1Cons: 2518, Level2Cons: 1028,
+		Nodes:  NodeRow{Total: 1320, End: 292, Async: 57, Call: 248, Finish: 52, If: 40, Loop: 68, Method: 122, Return: 87, Skip: 354},
+		TimeMS: 5197, SpaceMB: 196, IterSlab: 6, IterL1: 3, IterL2: 5,
+		PairsTotal: 272, PairsSelf: 51, PairsSame: 17, PairsDiff: 204,
+		CI: &PaperCIRow{
+			TimeMS: 25935, SpaceMB: 350, IterSlab: 6, IterL1: 17, IterL2: 5,
+			PairsTotal: 681, PairsSelf: 52, PairsSame: 23, PairsDiff: 606,
+		},
+	},
+	"mapreduce": {
+		LOC: 53, AsyncTotal: 3, AsyncLoop: 1, AsyncPlace: 2,
+		SlabelsCons: 40, Level1Cons: 96, Level2Cons: 40,
+		Nodes:  NodeRow{Total: 52, End: 12, Async: 3, Call: 5, Finish: 2, If: 0, Loop: 3, Method: 8, Return: 4, Skip: 15},
+		TimeMS: 96, SpaceMB: 3, IterSlab: 3, IterL1: 2, IterL2: 3,
+		PairsTotal: 1, PairsSelf: 1, PairsSame: 0, PairsDiff: 0,
+	},
+	"plasma": {
+		LOC: 4623, AsyncTotal: 151, AsyncLoop: 120, AsyncPlace: 31,
+		SlabelsCons: 2596, Level1Cons: 6230, Level2Cons: 2596,
+		Nodes:  NodeRow{Total: 3200, End: 604, Async: 151, Call: 505, Finish: 84, If: 93, Loop: 231, Method: 170, Return: 221, Skip: 1140, Switch: 1},
+		TimeMS: 16476, SpaceMB: 257, IterSlab: 6, IterL1: 2, IterL2: 6,
+		PairsTotal: 258, PairsSelf: 134, PairsSame: 120, PairsDiff: 4,
+		CI: &PaperCIRow{
+			TimeMS: 167828, SpaceMB: 1429, IterSlab: 6, IterL1: 14, IterL2: 6,
+			PairsTotal: 2281, PairsSelf: 136, PairsSame: 126, PairsDiff: 2019,
+		},
+	},
+}

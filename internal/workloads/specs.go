@@ -1,0 +1,201 @@
+package workloads
+
+// specs defines the 13 synthesized benchmarks. Async counts replicate
+// Figure 6 exactly (see TestAsyncCountsMatchFigure6); the remaining
+// knobs are tuned so node and constraint counts land near the paper's
+// and the pair-category structure of Figures 8–9 is preserved. The
+// comments give the paper's Figure 6 row: LOC, asyncs
+// (total = loop + place-switching).
+var specs = []spec{
+	{
+		// stream: 70 LOC, 4 asyncs = 3 loop + 1 place; 20 methods,
+		// 103 Slabels constraints; pairs 5 = 4 self + 1 same.
+		Name:              "stream",
+		SoloLoops:         1,
+		SameGroups:        1,
+		SameGroupSize:     2,
+		PlaceHelpersInFor: 1,
+		FillerMethods:     14,
+		ComputePer:        3,
+		PlainLoops:        8,
+		Ifs:               3,
+	},
+	{
+		// fragstream: 73 LOC, structurally identical to stream in
+		// every reported count (the fragmented-access variant).
+		Name:              "fragstream",
+		FieldLines:        3,
+		SoloLoops:         1,
+		SameGroups:        1,
+		SameGroupSize:     2,
+		PlaceHelpersInFor: 1,
+		FillerMethods:     14,
+		ComputePer:        3,
+		PlainLoops:        8,
+		Ifs:               3,
+	},
+	{
+		// sor: 185 LOC, 7 asyncs = 2 loop + 5 place; 24 methods,
+		// 132 Slabels; pairs 13 = 6 self + 3 same + 4 diff.
+		Name:              "sor",
+		FieldLines:        20,
+		SameGroups:        1,
+		SameGroupSize:     2,
+		PlaceGroupSize:    2,
+		PlaceGroupInFor:   true,
+		PlaceHelpersInFor: 3,
+		FillerMethods:     14,
+		ComputePer:        3,
+		PlainLoops:        4,
+		Ifs:               1,
+	},
+	{
+		// series: 290 LOC, 3 asyncs = 1 loop + 2 place; 14 methods,
+		// 90 Slabels; pairs 1 = 1 self.
+		Name:          "series",
+		FieldLines:    120,
+		SoloLoops:     1,
+		PlaceIso:      2,
+		FillerMethods: 9,
+		ComputePer:    4,
+		PlainLoops:    6,
+		Ifs:           3,
+		Switches:      1,
+	},
+	{
+		// sparsemm: 366 LOC, 4 asyncs = 1 loop + 3 place; 32 methods,
+		// 173 Slabels; pairs 3 = 2 self + 1 same.
+		Name:           "sparsemm",
+		FieldLines:     100,
+		SoloLoops:      1,
+		PlaceGroupSize: 2,
+		PlaceIso:       1,
+		FillerMethods:  26,
+		ComputePer:     3,
+		PlainLoops:     14,
+	},
+	{
+		// crypt: 562 LOC, 2 asyncs = 2 loop; 24 methods, 149 Slabels;
+		// pairs 2 = 2 self.
+		Name:          "crypt",
+		FieldLines:    300,
+		SoloLoops:     2,
+		FillerMethods: 20,
+		ComputePer:    4,
+		PlainLoops:    7,
+		Ifs:           5,
+	},
+	{
+		// moldyn: 699 LOC, 14 asyncs = 6 loop + 8 place; 36 methods,
+		// 241 Slabels; pairs 59 = 14 self + 36 same + 9 diff.
+		Name:               "moldyn",
+		FieldLines:         250,
+		SameGroups:         1,
+		SameGroupSize:      2,
+		AsyncHelpers:       1,
+		AsyncHelperLoops:   2,
+		HelperCallerSites:  1,
+		HelperCallsPerSite: 1,
+		PlaceGroupSize:     7,
+		PlaceGroupInFor:    true,
+		PlaceIso:           1,
+		FillerMethods:      21,
+		ComputePer:         4,
+		PlainLoops:         22,
+		Ifs:                2,
+	},
+	{
+		// linpack: 781 LOC, 8 asyncs = 3 loop + 5 place; 25 methods,
+		// 225 Slabels; pairs 10 = 6 self + 1 same + 3 diff.
+		Name:              "linpack",
+		FieldLines:        350,
+		SoloLoops:         1,
+		SameGroups:        1,
+		SameGroupSize:     2,
+		PlaceHelpersInFor: 3,
+		PlaceIso:          2,
+		FillerMethods:     16,
+		ComputePer:        6,
+		PlainLoops:        14,
+		Ifs:               10,
+	},
+	{
+		// raytracer: 1205 LOC, 13 asyncs = 2 loop + 11 place; 65
+		// methods, 478 Slabels; pairs 49 = 13 self + 24 same +
+		// 12 diff.
+		Name:              "raytracer",
+		FieldLines:        400,
+		SameGroups:        1,
+		SameGroupSize:     2,
+		PlaceGroupSize:    7,
+		PlaceGroupInFor:   true,
+		PlaceHelpersInFor: 4,
+		FillerMethods:     53,
+		ComputePer:        4,
+		PlainLoops:        6,
+		Ifs:               16,
+	},
+	{
+		// montecarlo: 3153 LOC, 3 asyncs = 1 loop + 2 place; 83
+		// methods, 345 Slabels; pairs 4 = 3 self + 1 same. Most of
+		// montecarlo's bulk is data and sequential code: hence the
+		// large field-line count and small per-method bodies.
+		Name:            "montecarlo",
+		FieldLines:      2400,
+		SoloLoops:       1,
+		PlaceGroupSize:  2,
+		PlaceGroupInFor: true,
+		FillerMethods:   77,
+		ComputePer:      2,
+		PlainLoops:      5,
+		Ifs:             2,
+	},
+	{
+		// mg: 1858 LOC, 57 asyncs = 37 loop + 20 place; 122 methods,
+		// 1028 Slabels; pairs 272 = 51 self + 17 same + 204 diff
+		// (681 context-insensitively). The diff pairs come from
+		// helper methods with asyncs called from many loops.
+		Name:               "mg",
+		FieldLines:         300,
+		SoloLoops:          1,
+		AsyncHelpers:       8,
+		AsyncHelperLoops:   2,
+		HelperCallerSites:  10,
+		HelperCallsPerSite: 3,
+		PlaceHelpersInFor:  8,
+		PlaceIso:           12,
+		FillerMethods:      75,
+		ComputePer:         5,
+		PlainLoops:         28,
+		Ifs:                40,
+	},
+	{
+		// mapreduce: 53 LOC, 3 asyncs = 1 loop + 2 place; 8 methods,
+		// 40 Slabels; pairs 1 = 1 self.
+		Name:          "mapreduce",
+		SoloLoops:     1,
+		PlaceIso:      2,
+		FillerMethods: 3,
+		ComputePer:    3,
+		PlainLoops:    1,
+	},
+	{
+		// plasma: 4623 LOC, 151 asyncs = 120 loop + 31 place; 170
+		// methods, 2596 Slabels; pairs 258 = 134 self + 120 same +
+		// 4 diff — but 2281 with 2019 diff context-insensitively:
+		// the merge-caller tiles sharing one kernel drive the blowup.
+		Name:              "plasma",
+		FieldLines:        1700,
+		SoloLoops:         16,
+		SameGroups:        5,
+		SameGroupSize:     6,
+		MergeCallers:      37,
+		PlaceHelpersInFor: 2,
+		PlaceIso:          29,
+		FillerMethods:     60,
+		ComputePer:        12,
+		PlainLoops:        50,
+		Ifs:               90,
+		Switches:          1,
+	},
+}

