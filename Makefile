@@ -1,0 +1,27 @@
+# Development targets. `make verify` is the gate every change must
+# pass: it includes the race detector because the analysis engine's
+# corpus worker pool must be race-clean.
+
+GO ?= go
+
+.PHONY: verify build vet test race bench figures
+
+verify: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+figures:
+	$(GO) run ./cmd/mhpbench -figure all

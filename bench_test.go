@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"fx10/internal/constraints"
+	"fx10/internal/engine"
 	"fx10/internal/experiments"
 	"fx10/internal/explore"
 	"fx10/internal/fixtures"
@@ -270,6 +271,63 @@ func BenchmarkPairSetCrossSym(b *testing.B) {
 // change-driven re-evaluation instead of whole passes.
 func BenchmarkSolverWorklist(b *testing.B) {
 	benchSolver(b, constraints.Options{Worklist: true})
+}
+
+// BenchmarkEngineCorpus measures analyzing the whole 13-benchmark
+// corpus through the engine, sequentially and on the worker pool —
+// the perf trajectory every later scaling PR is measured against.
+// Caching is off so every iteration re-solves.
+func BenchmarkEngineCorpus(b *testing.B) {
+	jobs := make([]engine.Job, 0, 13)
+	for _, wl := range workloads.All() {
+		jobs = append(jobs, engine.Job{Name: wl.Name, Program: wl.Program()})
+	}
+	for _, cfg := range []struct {
+		name    string
+		workers int
+	}{
+		{"sequential", 1},
+		{"parallel", 0}, // 0 = GOMAXPROCS
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			eng := engine.MustNew(engine.Config{Workers: cfg.workers, CacheSize: -1})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, cr := range eng.AnalyzeCorpus(jobs) {
+					if cr.Err != nil {
+						b.Fatal(cr.Err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineCacheHit measures the cache-served path: the cost of
+// re-requesting an already-solved program (content hash + LRU lookup
+// + summary extraction).
+func BenchmarkEngineCacheHit(b *testing.B) {
+	wl, err := workloads.Get("mg")
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := engine.MustNew(engine.Config{CacheSize: 16})
+	job := engine.Job{Name: wl.Name, Program: wl.Program()}
+	if _, err := eng.Analyze(job); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := eng.Analyze(job)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Stats.CacheHit {
+			b.Fatal("cache miss")
+		}
+	}
 }
 
 // BenchmarkScaling measures the full pipeline on the three

@@ -1,35 +1,39 @@
 // Command mhpbench regenerates the paper's evaluation: the worked
 // examples of Sections 2.1/2.2, the constraint system of Figure 5,
 // and the benchmark tables of Figures 6–9, each printed as a
-// measured/paper table.
+// measured/paper table, plus a corpus sweep that runs the whole
+// evaluation through the analysis engine's worker pool and reports
+// the wall-clock speedup over sequential analysis.
 //
 // Usage:
 //
-//	mhpbench [-figure all|5|6|7|8|9|examples]
+//	mhpbench [-figure all|5|6|7|8|9|examples|scaling|corpus] [-parallel N]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"fx10/internal/experiments"
 )
 
 func main() {
-	figure := flag.String("figure", "all", "which figure to regenerate: all, 5, 6, 7, 8, 9, examples or scaling")
+	figure := flag.String("figure", "all", "which figure to regenerate: all, 5, 6, 7, 8, 9, examples, scaling or corpus")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool width for the corpus sweep")
 	flag.Parse()
-	if err := run(*figure); err != nil {
+	if err := run(*figure, *parallel); err != nil {
 		fmt.Fprintln(os.Stderr, "mhpbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(figure string) error {
+func run(figure string, parallel int) error {
 	want := map[string]bool{}
 	if figure == "all" {
-		for _, f := range []string{"examples", "5", "6", "7", "8", "9"} {
+		for _, f := range []string{"examples", "5", "6", "7", "8", "9", "corpus"} {
 			want[f] = true
 		}
 	} else {
@@ -71,12 +75,20 @@ func run(figure string) error {
 		section("Figure 9: context-sensitive vs context-insensitive (mg, plasma)")
 		fmt.Print(experiments.FormatFigure9(experiments.Figure9()))
 	}
+	if want["corpus"] {
+		section("Corpus engine: 13 benchmarks, parallel vs sequential")
+		run, err := experiments.Corpus(parallel)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatCorpus(run))
+	}
 	if want["scaling"] {
 		section("Scaling study: solver time vs program size (Section 5.2 complexity)")
 		fmt.Print(experiments.FormatScaling(experiments.Scaling(experiments.DefaultScalingSizes)))
 	}
 	if len(want) == 0 {
-		return fmt.Errorf("nothing selected; use -figure all|5|6|7|8|9|examples|scaling")
+		return fmt.Errorf("nothing selected; use -figure all|5|6|7|8|9|examples|scaling|corpus")
 	}
 	return nil
 }

@@ -8,6 +8,11 @@ import (
 
 func captureRun(t *testing.T, figure string) (string, error) {
 	t.Helper()
+	return captureRunParallel(t, figure, 1)
+}
+
+func captureRunParallel(t *testing.T, figure string, parallel int) (string, error) {
+	t.Helper()
 	old := os.Stdout
 	r, w, err := os.Pipe()
 	if err != nil {
@@ -27,7 +32,7 @@ func captureRun(t *testing.T, figure string) (string, error) {
 		}
 		done <- sb.String()
 	}()
-	ferr := run(figure)
+	ferr := run(figure, parallel)
 	w.Close()
 	os.Stdout = old
 	return <-done, ferr
@@ -91,5 +96,20 @@ func TestUnknownFigure(t *testing.T) {
 	}
 	if strings.Contains(out, "Figure") {
 		t.Fatalf("unexpected output for unknown figure:\n%s", out)
+	}
+}
+
+func TestCorpusSection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full corpus sweeps")
+	}
+	out, err := captureRunParallel(t, "corpus", 4)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, frag := range []string{"Corpus engine", "workers: 4", "speedup", "identical to sequential: true"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("corpus output missing %q:\n%s", frag, out)
+		}
 	}
 }

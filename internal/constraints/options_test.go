@@ -1,0 +1,67 @@
+package constraints
+
+import (
+	"testing"
+
+	"fx10/internal/fixtures"
+)
+
+// TestOptionsNormalize pins the single-place resolution of the
+// Monolithic/Worklist mutual exclusion: Worklist wins.
+func TestOptionsNormalize(t *testing.T) {
+	cases := []struct {
+		in, want Options
+	}{
+		{Options{}, Options{}},
+		{Options{Monolithic: true}, Options{Monolithic: true}},
+		{Options{Worklist: true}, Options{Worklist: true}},
+		{Options{Monolithic: true, Worklist: true}, Options{Worklist: true}},
+	}
+	for _, c := range cases {
+		if got := c.in.Normalize(); got != c.want {
+			t.Errorf("Normalize(%+v) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestSolveRejectsHybridOptions checks that Solve enforces the
+// exclusion rather than just documenting it: the invalid combination
+// behaves exactly like the worklist solver (worklist metrics, no
+// pass counters, identical valuation) and never runs a hybrid.
+func TestSolveRejectsHybridOptions(t *testing.T) {
+	for _, mode := range []Mode{ContextSensitive, ContextInsensitive} {
+		_, sys := gen(t, fixtures.Example22Source, mode)
+		both := sys.Solve(Options{Monolithic: true, Worklist: true})
+		worklist := sys.Solve(Options{Worklist: true})
+
+		if both.IterL1 != 0 || both.IterL2 != 0 {
+			t.Errorf("%v: hybrid options ran pass-based phases (IterL1=%d IterL2=%d)",
+				mode, both.IterL1, both.IterL2)
+		}
+		if both.Evaluations == 0 {
+			t.Errorf("%v: hybrid options did not run the worklist solver", mode)
+		}
+		if both.Evaluations != worklist.Evaluations {
+			t.Errorf("%v: hybrid evaluations %d != worklist evaluations %d",
+				mode, both.Evaluations, worklist.Evaluations)
+		}
+		if !both.ValuationEqual(worklist) {
+			t.Errorf("%v: hybrid options valuation differs from worklist", mode)
+		}
+	}
+}
+
+// TestValuationEqualDetectsDifference guards the comparator itself:
+// solutions of different programs must not compare equal.
+func TestValuationEqualDetectsDifference(t *testing.T) {
+	_, sys1 := gen(t, fixtures.Example21Source, ContextSensitive)
+	_, sys2 := gen(t, fixtures.Example22Source, ContextSensitive)
+	a := sys1.Solve(Options{})
+	b := sys2.Solve(Options{})
+	if a.ValuationEqual(b) {
+		t.Fatal("valuations of different programs compare equal")
+	}
+	if !a.ValuationEqual(sys1.Solve(Options{Worklist: true})) {
+		t.Fatal("same system solved twice compares unequal")
+	}
+}

@@ -54,6 +54,19 @@ func (b pairBag) crossSym(a, bb *intset.Set) bool {
 	return changed
 }
 
+// equal reports whether b and o hold exactly the same pairs.
+func (b pairBag) equal(o pairBag) bool {
+	if len(b) != len(o) {
+		return false
+	}
+	for k := range b {
+		if _, ok := o[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
 // toPairSet converts to a dense pair set over universe n.
 func (b pairBag) toPairSet(n int) *intset.PairSet {
 	out := intset.NewPairs(n)

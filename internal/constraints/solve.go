@@ -10,6 +10,12 @@ import (
 )
 
 // Options configures constraint solving.
+//
+// Monolithic and Worklist are mutually exclusive; Solve normalizes
+// the combination (Worklist wins) via Normalize, so the pair never
+// selects an undefined hybrid. Engine callers should prefer the named
+// strategies of internal/engine, whose registry makes the invalid
+// combination unrepresentable.
 type Options struct {
 	// Monolithic disables the paper's three-phase optimization
 	// (Section 5.3) and instead iterates level-1 and level-2
@@ -23,6 +29,16 @@ type Options struct {
 	// reported instead of pass counts. Mutually exclusive with
 	// Monolithic (Worklist wins).
 	Worklist bool
+}
+
+// Normalize resolves the Monolithic/Worklist mutual exclusion: if
+// both are set, Worklist wins and Monolithic is cleared. Solve calls
+// this, so it is the single place the invariant is enforced.
+func (o Options) Normalize() Options {
+	if o.Worklist {
+		o.Monolithic = false
+	}
+	return o
 }
 
 // Solution is a least solution of a System, with solver metrics.
@@ -63,6 +79,7 @@ type Solution struct {
 // least fixpoint exists; we reach it by accumulating iteration from
 // the bottom valuation).
 func (s *System) Solve(opts Options) *Solution {
+	opts = opts.Normalize()
 	var ms0, ms1 runtime.MemStats
 	runtime.ReadMemStats(&ms0)
 	start := time.Now()

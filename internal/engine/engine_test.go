@@ -1,0 +1,297 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"fx10/internal/constraints"
+	"fx10/internal/fixtures"
+	"fx10/internal/parser"
+	"fx10/internal/progen"
+	"fx10/internal/syntax"
+)
+
+func TestRegistryBuiltins(t *testing.T) {
+	got := strings.Join(Strategies(), " ")
+	for _, name := range []string{"phased", "monolithic", "worklist"} {
+		if !strings.Contains(got, name) {
+			t.Errorf("registry missing %q (have %s)", name, got)
+		}
+		if _, err := Lookup(name); err != nil {
+			t.Errorf("Lookup(%q): %v", name, err)
+		}
+	}
+	if _, err := Lookup(""); err != nil {
+		t.Errorf("empty name should resolve to default: %v", err)
+	}
+	if _, err := Lookup("no-such-solver"); err == nil {
+		t.Error("Lookup of unknown strategy succeeded")
+	}
+	if err := Register(FromOptions("phased", constraints.Options{})); err == nil {
+		t.Error("duplicate Register succeeded")
+	}
+	if err := Register(FromOptions("", constraints.Options{})); err == nil {
+		t.Error("empty-name Register succeeded")
+	}
+}
+
+func TestNewRejectsUnknownStrategy(t *testing.T) {
+	if _, err := New(Config{Strategy: "no-such-solver"}); err == nil {
+		t.Fatal("New with unknown strategy succeeded")
+	}
+}
+
+// TestAnalyzeMatchesDirectPipeline pins the engine to the hand-wired
+// chain it replaces.
+func TestAnalyzeMatchesDirectPipeline(t *testing.T) {
+	p := fixtures.Example21()
+	eng := MustNew(Config{})
+	res, err := eng.Analyze(Job{Name: "example-2.1", Program: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := constraints.Generate(res.Info, constraints.ContextSensitive).Solve(constraints.Options{})
+	if !res.M.Equal(direct.MainM()) {
+		t.Error("engine M differs from direct pipeline M")
+	}
+	if res.Stats.Strategy != "phased" || res.Stats.CacheHit {
+		t.Errorf("unexpected stats: %+v", res.Stats)
+	}
+	if res.Stats.IterL1 == 0 || res.Stats.IterL2 == 0 || res.Stats.IterSlabels == 0 {
+		t.Errorf("missing solver counters: %+v", res.Stats)
+	}
+	if res.Stats.PipelineDuration() <= 0 {
+		t.Error("no pipeline duration recorded")
+	}
+}
+
+// TestCacheHitIdenticalResult checks the content-hash cache: a
+// second analysis of a content-identical (but distinct) program value
+// is served from cache and yields identical results.
+func TestCacheHitIdenticalResult(t *testing.T) {
+	eng := MustNew(Config{CacheSize: 8})
+	p1 := parser.MustParse(fixtures.Example22Source)
+	p2 := parser.MustParse(fixtures.Example22Source)
+
+	r1, err := eng.Analyze(Job{Program: p1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Stats.CacheHit {
+		t.Fatal("first analysis reported a cache hit")
+	}
+	r2, err := eng.Analyze(Job{Program: p2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Stats.CacheHit {
+		t.Fatal("second analysis missed the cache")
+	}
+	if !r1.M.Equal(r2.M) {
+		t.Error("cached M differs")
+	}
+	if len(r1.Env) != len(r2.Env) {
+		t.Fatalf("env sizes differ: %d vs %d", len(r1.Env), len(r2.Env))
+	}
+	for i := range r1.Env {
+		if !r1.Env[i].M.Equal(r2.Env[i].M) || !r1.Env[i].O.Equal(r2.Env[i].O) {
+			t.Errorf("cached summary %d differs", i)
+		}
+	}
+	if !r1.Sol.ValuationEqual(r2.Sol) {
+		t.Error("cached valuation differs")
+	}
+	// The derived views must be freshly owned per request, not
+	// aliases into the cache: mutating one result must not leak into
+	// the next hit.
+	r2.M.Add(0, 0)
+	r3, err := eng.Analyze(Job{Program: p1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r3.Stats.CacheHit {
+		t.Fatal("third analysis missed the cache")
+	}
+	if !r3.M.Equal(r1.M) {
+		t.Error("mutation of a served M leaked into the cache")
+	}
+	if cs := eng.CacheStats(); cs.Hits != 2 || cs.Misses != 1 {
+		t.Errorf("cache stats = %+v, want 2 hits / 1 miss", cs)
+	}
+}
+
+// TestCacheKeying: different modes and different strategies must not
+// share cache entries.
+func TestCacheKeying(t *testing.T) {
+	p := fixtures.Example22()
+	eng := MustNew(Config{CacheSize: 8})
+	cs, err := eng.Analyze(Job{Program: p, Mode: constraints.ContextSensitive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci, err := eng.Analyze(Job{Program: p, Mode: constraints.ContextInsensitive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.Stats.CacheHit {
+		t.Error("context-insensitive analysis served from context-sensitive entry")
+	}
+	// The Section 2.2 example is precisely the one where the two
+	// modes disagree, so a keying bug is observable.
+	if cs.M.Equal(ci.M) {
+		t.Error("modes produced equal M on the context-sensitivity example; keying test is vacuous")
+	}
+
+	wl := MustNew(Config{Strategy: "worklist", CacheSize: 8})
+	wr, err := wl.Analyze(Job{Program: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wr.Stats.CacheHit || wr.Stats.Strategy != "worklist" {
+		t.Errorf("fresh engine reported stats %+v", wr.Stats)
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	eng := MustNew(Config{CacheSize: 2})
+	progs := []*syntax.Program{
+		progen.Generate(1, progen.Finite()),
+		progen.Generate(2, progen.Finite()),
+		progen.Generate(3, progen.Finite()),
+	}
+	for _, p := range progs {
+		if _, err := eng.Analyze(Job{Program: p}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := eng.cache.len(); n != 2 {
+		t.Fatalf("cache holds %d entries, want 2", n)
+	}
+	// progs[0] is the evicted one: re-analyzing it must miss.
+	if _, err := eng.Analyze(Job{Program: progs[0]}); err != nil {
+		t.Fatal(err)
+	}
+	if cs := eng.CacheStats(); cs.Hits != 0 {
+		t.Errorf("expected no hits after eviction, got %+v", cs)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	eng := MustNew(Config{CacheSize: -1})
+	p := fixtures.Example21()
+	for i := 0; i < 2; i++ {
+		r, err := eng.Analyze(Job{Program: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Stats.CacheHit {
+			t.Fatal("cache hit with caching disabled")
+		}
+	}
+	if cs := eng.CacheStats(); cs.Hits != 0 || cs.Misses != 0 {
+		t.Errorf("disabled cache recorded traffic: %+v", cs)
+	}
+}
+
+// TestAnalyzeParsesSource covers the parse stage.
+func TestAnalyzeParsesSource(t *testing.T) {
+	eng := MustNew(Config{})
+	res, err := eng.Analyze(Job{Name: "inline", Source: fixtures.Example21Source})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.M.Empty() {
+		t.Error("no MHP pairs inferred for the Section 2.1 example")
+	}
+	if _, err := eng.Analyze(Job{Name: "bad", Source: "void main( {"}); err == nil {
+		t.Error("parse error not reported")
+	}
+}
+
+// panicStrategy panics on every solve — a stand-in for a malformed
+// program tripping an invariant deep in the pipeline.
+type panicStrategy struct{}
+
+func (panicStrategy) Name() string { return "test-panic" }
+func (panicStrategy) Solve(*constraints.System) *constraints.Solution {
+	panic("solver invariant violated")
+}
+
+// TestCorpusPanicIsolation: one bad program must not kill the sweep.
+func TestCorpusPanicIsolation(t *testing.T) {
+	MustRegister(panicStrategy{})
+	eng := MustNew(Config{Strategy: "test-panic", Workers: 4})
+	jobs := []Job{
+		{Name: "p1", Program: fixtures.Example21()},
+		{Name: "p2", Program: fixtures.Example22()},
+		{Name: "bad-parse", Source: "void main( {"},
+	}
+	results := eng.AnalyzeCorpus(jobs)
+	if len(results) != len(jobs) {
+		t.Fatalf("got %d results, want %d", len(results), len(jobs))
+	}
+	for i, cr := range results {
+		if cr.Err == nil {
+			t.Errorf("job %d (%s): expected an error", i, cr.Job.Name)
+		}
+		if cr.Result != nil {
+			t.Errorf("job %d (%s): result alongside error", i, cr.Job.Name)
+		}
+	}
+	if !strings.Contains(results[0].Err.Error(), "panic analyzing p1") {
+		t.Errorf("panic error lacks job name: %v", results[0].Err)
+	}
+	if strings.Contains(results[2].Err.Error(), "panic") {
+		t.Errorf("parse failure misreported as panic: %v", results[2].Err)
+	}
+}
+
+// TestCorpusParallelMatchesSequential: the pool must be a pure
+// scheduling change — same results in the same (input) order.
+func TestCorpusParallelMatchesSequential(t *testing.T) {
+	var jobs []Job
+	for seed := int64(0); seed < 20; seed++ {
+		jobs = append(jobs, Job{Program: progen.Generate(seed, progen.Default())})
+	}
+	seq := MustNew(Config{Workers: 1, CacheSize: -1}).AnalyzeCorpus(jobs)
+	par := MustNew(Config{Workers: 8, CacheSize: -1}).AnalyzeCorpus(jobs)
+	for i := range jobs {
+		if seq[i].Err != nil || par[i].Err != nil {
+			t.Fatalf("job %d failed: seq=%v par=%v", i, seq[i].Err, par[i].Err)
+		}
+		if !seq[i].Result.M.Equal(par[i].Result.M) {
+			t.Errorf("job %d: parallel M differs from sequential", i)
+		}
+		if !seq[i].Result.Sol.ValuationEqual(par[i].Result.Sol) {
+			t.Errorf("job %d: parallel valuation differs from sequential", i)
+		}
+	}
+}
+
+// TestCorpusSharedCache: identical programs in one sweep are served
+// from cache after the first solve, and hits equal misses absent.
+func TestCorpusSharedCache(t *testing.T) {
+	p := progen.Generate(42, progen.Default())
+	jobs := make([]Job, 6)
+	for i := range jobs {
+		// Distinct parses of the same printed program: content-equal,
+		// pointer-distinct.
+		jobs[i] = Job{Program: parser.MustParse(syntax.Print(p))}
+	}
+	eng := MustNew(Config{Workers: 1, CacheSize: 8})
+	results := eng.AnalyzeCorpus(jobs)
+	for i, cr := range results {
+		if cr.Err != nil {
+			t.Fatalf("job %d: %v", i, cr.Err)
+		}
+		if !results[0].Result.M.Equal(cr.Result.M) {
+			t.Errorf("job %d: cached M differs", i)
+		}
+		if wantHit := i > 0; cr.Result.Stats.CacheHit != wantHit {
+			t.Errorf("job %d: CacheHit = %v, want %v", i, cr.Result.Stats.CacheHit, wantHit)
+		}
+	}
+	if cs := eng.CacheStats(); cs.Hits != 5 || cs.Misses != 1 {
+		t.Errorf("cache stats = %+v, want 5 hits / 1 miss", cs)
+	}
+}

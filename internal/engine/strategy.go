@@ -1,0 +1,115 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"fx10/internal/constraints"
+)
+
+// Strategy is one way of computing the least solution of a generated
+// constraint system. Theorems 5–6 guarantee every strategy reaches
+// the same solution; strategies differ only in how they iterate (and
+// therefore in time, space and the metrics they report). Strategies
+// must be safe for concurrent use: the engine calls Solve from many
+// worker goroutines.
+type Strategy interface {
+	// Name is the registry key ("phased", "monolithic", …).
+	Name() string
+	// Solve computes the least solution of sys.
+	Solve(sys *constraints.System) *constraints.Solution
+}
+
+// DefaultStrategy is the strategy an Engine uses when its Config
+// names none: the paper's three-phase solver (Section 5.3).
+const DefaultStrategy = "phased"
+
+// optionsStrategy adapts a fixed constraints.Options to the Strategy
+// interface — all three built-in strategies are spellings of it. The
+// adapter holds a normalized Options, so the Monolithic/Worklist
+// conflict is unrepresentable for engine callers.
+type optionsStrategy struct {
+	name string
+	opts constraints.Options
+}
+
+func (s optionsStrategy) Name() string { return s.name }
+
+func (s optionsStrategy) Solve(sys *constraints.System) *constraints.Solution {
+	return sys.Solve(s.opts)
+}
+
+// FromOptions wraps a constraints.Options as a named Strategy,
+// normalizing it first. Useful for registering ad-hoc variants in
+// tests and experiments.
+func FromOptions(name string, opts constraints.Options) Strategy {
+	return optionsStrategy{name: name, opts: opts.Normalize()}
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Strategy{}
+)
+
+func init() {
+	MustRegister(FromOptions("phased", constraints.Options{}))
+	MustRegister(FromOptions("monolithic", constraints.Options{Monolithic: true}))
+	MustRegister(FromOptions("worklist", constraints.Options{Worklist: true}))
+}
+
+// Register adds a strategy to the registry. It fails on an empty name
+// or a name already taken: strategies are identities (they key the
+// result cache), so silent replacement would corrupt cached results.
+func Register(s Strategy) error {
+	name := s.Name()
+	if name == "" {
+		return fmt.Errorf("engine: strategy has empty name")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		return fmt.Errorf("engine: strategy %q already registered", name)
+	}
+	registry[name] = s
+	return nil
+}
+
+// MustRegister is Register, panicking on error — for init-time
+// wiring.
+func MustRegister(s Strategy) {
+	if err := Register(s); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup resolves a strategy name; the empty name resolves to
+// DefaultStrategy.
+func Lookup(name string) (Strategy, error) {
+	if name == "" {
+		name = DefaultStrategy
+	}
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	s, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown strategy %q (have %v)", name, strategyNamesLocked())
+	}
+	return s, nil
+}
+
+// Strategies returns the registered strategy names, sorted.
+func Strategies() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	return strategyNamesLocked()
+}
+
+func strategyNamesLocked() []string {
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

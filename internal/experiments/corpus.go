@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"fx10/internal/constraints"
+	"fx10/internal/engine"
+	"fx10/internal/workloads"
+)
+
+// The corpus run is the engine's headline scenario: the paper's
+// whole evaluation — all 13 benchmarks — analyzed as one sweep on the
+// bounded worker pool, with the sequential run kept as both the
+// baseline for the wall-clock speedup and the oracle the parallel
+// results must match bit for bit.
+
+// CorpusRun reports one parallel-vs-sequential sweep.
+type CorpusRun struct {
+	// Workers is the parallel pool width.
+	Workers int
+	// Sequential and Parallel are the wall-clock times of the two
+	// sweeps.
+	Sequential, Parallel time.Duration
+	// Speedup is Sequential/Parallel.
+	Speedup float64
+	// Identical reports whether every parallel result's solved
+	// valuation, M relation and pair classification equal the
+	// sequential ones (the Figure 6/8 tables would be identical).
+	Identical bool
+	// Rows is the Figure 8 table computed from the parallel sweep.
+	Rows []Fig8Row
+}
+
+// Corpus analyzes the 13-benchmark corpus sequentially and then on a
+// workers-wide pool, checks the results are identical, and reports
+// both wall-clock times. Programs are parsed and lowered up front so
+// both sweeps time pure analysis.
+func Corpus(workers int) (CorpusRun, error) {
+	benchmarks := workloads.All()
+	jobs := make([]engine.Job, len(benchmarks))
+	for i, b := range benchmarks {
+		jobs[i] = engine.Job{Name: b.Name, Program: b.Program(), Mode: constraints.ContextSensitive}
+	}
+
+	seqEngine := engine.MustNew(engine.Config{Workers: 1, CacheSize: -1})
+	t0 := time.Now()
+	seq := seqEngine.AnalyzeCorpus(jobs)
+	seqDur := time.Since(t0)
+
+	parEngine := engine.MustNew(engine.Config{Workers: workers, CacheSize: -1})
+	t0 = time.Now()
+	par := parEngine.AnalyzeCorpus(jobs)
+	parDur := time.Since(t0)
+
+	run := CorpusRun{
+		Workers:    parEngine.Workers(),
+		Sequential: seqDur,
+		Parallel:   parDur,
+		Identical:  true,
+	}
+	if parDur > 0 {
+		run.Speedup = float64(seqDur) / float64(parDur)
+	}
+	for i, b := range benchmarks {
+		if seq[i].Err != nil {
+			return run, fmt.Errorf("sequential %s: %w", b.Name, seq[i].Err)
+		}
+		if par[i].Err != nil {
+			return run, fmt.Errorf("parallel %s: %w", b.Name, par[i].Err)
+		}
+		if !seq[i].Result.Sol.ValuationEqual(par[i].Result.Sol) ||
+			!seq[i].Result.M.Equal(par[i].Result.M) {
+			run.Identical = false
+		}
+		row := fig8RowFrom(b, constraints.ContextSensitive, par[i].Result)
+		seqRow := fig8RowFrom(b, constraints.ContextSensitive, seq[i].Result)
+		if row.Pairs != seqRow.Pairs {
+			run.Identical = false
+		}
+		run.Rows = append(run.Rows, row)
+	}
+	return run, nil
+}
+
+// FormatCorpus renders a corpus run.
+func FormatCorpus(run CorpusRun) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "benchmarks: %d   workers: %d\n", len(run.Rows), run.Workers)
+	fmt.Fprintf(&b, "sequential: %.1fms   parallel: %.1fms   speedup: %.2fx\n",
+		float64(run.Sequential.Microseconds())/1000.0,
+		float64(run.Parallel.Microseconds())/1000.0,
+		run.Speedup)
+	fmt.Fprintf(&b, "parallel results identical to sequential: %v\n", run.Identical)
+	return b.String()
+}

@@ -19,10 +19,10 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"time"
 
 	"fx10/internal/condensed"
 	"fx10/internal/constraints"
+	"fx10/internal/engine"
 	"fx10/internal/fixtures"
 	"fx10/internal/labels"
 	"fx10/internal/mhp"
@@ -30,6 +30,11 @@ import (
 	"fx10/internal/syntax"
 	"fx10/internal/workloads"
 )
+
+// figEngine runs every figure pipeline. Caching is off: each row's
+// time column must be a real measurement, not a cache lookup (the
+// corpus runner builds its own engines the same way).
+var figEngine = engine.MustNew(engine.Config{CacheSize: -1})
 
 // Figure5 renders the generated constraint system for the Section 2.1
 // example program, the reproduction of the paper's Figure 5.
@@ -203,25 +208,28 @@ type Fig8Row struct {
 }
 
 // analyzeBenchmark runs the full inference pipeline on a benchmark in
-// the given mode, timing it end to end (Slabels fixpoint + constraint
-// generation + solving), as the paper's Figure 8 does.
+// the given mode through the engine, timing the analysis stages
+// (Slabels fixpoint + constraint generation + solving), as the
+// paper's Figure 8 does.
 func analyzeBenchmark(b *workloads.Benchmark, mode constraints.Mode) Fig8Row {
-	p := b.Program()
-	start := time.Now()
-	in := labels.Compute(p)
-	sys := constraints.Generate(in, mode)
-	sol := sys.Solve(constraints.Options{})
-	elapsed := time.Since(start)
+	res, err := figEngine.Analyze(engine.Job{Name: b.Name, Program: b.Program(), Mode: mode})
+	if err != nil {
+		panic(err)
+	}
+	return fig8RowFrom(b, mode, res)
+}
 
-	r := &mhp.Result{Program: p, Info: in, Sys: sys, Sol: sol, M: sol.MainM()}
-	pairs := mhp.CountPairs(r.AsyncBodyPairs())
+// fig8RowFrom converts one engine result to its figure row; the
+// corpus runner reuses it on pool results.
+func fig8RowFrom(b *workloads.Benchmark, mode constraints.Mode, res *engine.Result) Fig8Row {
+	pairs := mhp.CountPairs(mhp.FromEngine(res).AsyncBodyPairs())
 	return Fig8Row{
 		Name: b.Name, Mode: mode, Paper: b.Paper,
-		TimeMS:      float64(elapsed.Microseconds()) / 1000.0,
-		SpaceMB:     float64(sol.FootprintBytes) / (1 << 20),
-		IterSlabels: sol.IterSlabels,
-		IterL1:      sol.IterL1,
-		IterL2:      sol.IterL2,
+		TimeMS:      float64(res.Stats.PipelineDuration().Microseconds()) / 1000.0,
+		SpaceMB:     float64(res.Stats.FootprintBytes) / (1 << 20),
+		IterSlabels: res.Stats.IterSlabels,
+		IterL1:      res.Stats.IterL1,
+		IterL2:      res.Stats.IterL2,
 		Pairs:       pairs,
 	}
 }

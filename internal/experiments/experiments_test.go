@@ -113,6 +113,39 @@ func TestFigure8And9(t *testing.T) {
 	}
 }
 
+func TestCorpusParallelIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full corpus sweeps")
+	}
+	run, err := Corpus(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !run.Identical {
+		t.Fatal("parallel corpus results differ from sequential")
+	}
+	if len(run.Rows) != 13 {
+		t.Fatalf("rows = %d, want 13", len(run.Rows))
+	}
+	// The parallel rows are the Figure 8 table: pair counts must
+	// match the sequential figure exactly.
+	fig8 := Figure8()
+	for i, r := range run.Rows {
+		if r.Pairs != fig8[i].Pairs {
+			t.Errorf("%s: corpus pairs %+v != figure 8 pairs %+v", r.Name, r.Pairs, fig8[i].Pairs)
+		}
+	}
+	if run.Workers != 4 {
+		t.Errorf("workers = %d, want 4", run.Workers)
+	}
+	out := FormatCorpus(run)
+	for _, frag := range []string{"speedup", "identical to sequential: true", "workers: 4"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("corpus output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
 func TestTablePanicsOnBadRow(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -4,10 +4,8 @@ import (
 	"fmt"
 	"math"
 	"strings"
-	"time"
 
-	"fx10/internal/constraints"
-	"fx10/internal/labels"
+	"fx10/internal/engine"
 	"fx10/internal/syntax"
 )
 
@@ -75,18 +73,22 @@ func LoopsProgram(n int) *syntax.Program {
 	return b.MustProgram()
 }
 
-// measure runs the full inference pipeline on one program.
+// measure runs the full inference pipeline on one program through
+// the engine (timing the analysis stages only).
 func measure(family string, size int, p *syntax.Program) ScalingRow {
-	start := time.Now()
-	in := labels.Compute(p)
-	sol := constraints.Generate(in, constraints.ContextSensitive).Solve(constraints.Options{})
-	elapsed := time.Since(start)
+	res, err := figEngine.Analyze(engine.Job{
+		Name:    fmt.Sprintf("%s(%d)", family, size),
+		Program: p,
+	})
+	if err != nil {
+		panic(err)
+	}
 	return ScalingRow{
 		Family: family,
 		Size:   size,
 		Labels: p.NumLabels(),
-		Pairs:  sol.MainM().Len(),
-		TimeMS: float64(elapsed.Microseconds()) / 1000.0,
+		Pairs:  res.M.Len(),
+		TimeMS: float64(res.Stats.PipelineDuration().Microseconds()) / 1000.0,
 	}
 }
 

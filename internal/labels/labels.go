@@ -10,6 +10,8 @@
 package labels
 
 import (
+	"sync"
+
 	"fx10/internal/intset"
 	"fx10/internal/syntax"
 	"fx10/internal/tree"
@@ -27,7 +29,11 @@ type Info struct {
 	// stabilize the per-method sets (≥ 1; the final no-change pass is
 	// counted, matching how the paper's solver reports iterations).
 	Iterations int
-	memo       map[*syntax.Stmt]*intset.Set
+	// memoMu guards memo: one Info may be shared by concurrent
+	// readers (internal/engine hands cached analyses to many
+	// goroutines), and Slabels fills the memo lazily.
+	memoMu sync.Mutex
+	memo   map[*syntax.Stmt]*intset.Set
 }
 
 // Compute builds the Slabels fixpoint for p.
@@ -92,6 +98,8 @@ func (in *Info) MethodLabels(mi int) *intset.Set { return in.method[mi] }
 // executed during execution of s (equations (15)–(21)). The result is
 // memoized and shared; do not mutate.
 func (in *Info) Slabels(s *syntax.Stmt) *intset.Set {
+	in.memoMu.Lock()
+	defer in.memoMu.Unlock()
 	if got, ok := in.memo[s]; ok {
 		return got
 	}

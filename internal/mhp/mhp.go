@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"fx10/internal/constraints"
+	"fx10/internal/engine"
 	"fx10/internal/explore"
 	"fx10/internal/intset"
 	"fx10/internal/labels"
@@ -29,18 +30,34 @@ type Result struct {
 	M *intset.PairSet
 }
 
-// Analyze runs the full pipeline on p in the given mode.
+// analyzeEngine serves Analyze. Caching is off: Analyze's contract
+// is one fresh pipeline run per call (benchmarks iterate it to
+// measure solving); callers that want corpus pooling or cached
+// re-analysis use internal/engine directly.
+var analyzeEngine = engine.MustNew(engine.Config{CacheSize: -1})
+
+// Analyze runs the full pipeline on p in the given mode. It is a
+// thin compatibility wrapper over internal/engine with the default
+// (phased) strategy.
 func Analyze(p *syntax.Program, mode constraints.Mode) *Result {
-	in := labels.Compute(p)
-	sys := constraints.Generate(in, mode)
-	sol := sys.Solve(constraints.Options{})
+	res, err := analyzeEngine.Analyze(engine.Job{Program: p, Mode: mode})
+	if err != nil {
+		// Unreachable: parse errors cannot occur when a Program is
+		// supplied and the default strategy is always registered.
+		panic(err)
+	}
+	return FromEngine(res)
+}
+
+// FromEngine adapts an engine result to the mhp report API.
+func FromEngine(res *engine.Result) *Result {
 	return &Result{
-		Program: p,
-		Info:    in,
-		Sys:     sys,
-		Sol:     sol,
-		Env:     sol.Env(),
-		M:       sol.MainM(),
+		Program: res.Program,
+		Info:    res.Info,
+		Sys:     res.Sys,
+		Sol:     res.Sol,
+		Env:     res.Env,
+		M:       res.M,
 	}
 }
 
