@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: verify build vet test race bench figures
+.PHONY: verify build vet test race bench benchsmoke profile figures solverbench
 
 verify: build vet race
 
@@ -20,8 +20,24 @@ test:
 race:
 	$(GO) test -race ./...
 
+# bench is the real measurement run (count 3 so best-of can reject
+# noise); benchsmoke just checks every benchmark still executes.
 bench:
+	$(GO) test -run xxx -bench . -benchmem -count 3 ./...
+	$(GO) run ./cmd/mhpbench -figure solver -benchjson BENCH_solver.json
+
+benchsmoke:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+# profile writes CPU and heap profiles for the worklist-vs-topo solver
+# ablation; inspect with `go tool pprof solver.cpu.pprof`.
+profile:
+	$(GO) test -run xxx -bench 'BenchmarkSolverWorklist|BenchmarkSolverTopo' -benchmem \
+		-cpuprofile solver.cpu.pprof -memprofile solver.mem.pprof .
+
+# solverbench regenerates the committed strategy comparison.
+solverbench:
+	$(GO) run ./cmd/mhpbench -figure solver -benchjson BENCH_solver.json
 
 figures:
 	$(GO) run ./cmd/mhpbench -figure all

@@ -273,6 +273,14 @@ func BenchmarkSolverWorklist(b *testing.B) {
 	benchSolver(b, constraints.Options{Worklist: true})
 }
 
+// BenchmarkSolverTopo is the fourth strategy: SCC-condensed
+// topological propagation with copy elision — each constraint
+// evaluated at most once, whole alias chains solved as one value.
+// Compare allocs/op against BenchmarkSolverWorklist.
+func BenchmarkSolverTopo(b *testing.B) {
+	benchSolver(b, constraints.Options{Topo: true})
+}
+
 // BenchmarkEngineCorpus measures analyzing the whole 13-benchmark
 // corpus through the engine, sequentially and on the worker pool —
 // the perf trajectory every later scaling PR is measured against.

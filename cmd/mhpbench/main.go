@@ -7,7 +7,11 @@
 //
 // Usage:
 //
-//	mhpbench [-figure all|5|6|7|8|9|examples|scaling|corpus] [-parallel N]
+//	mhpbench [-figure all|5|6|7|8|9|examples|scaling|corpus|solver] [-parallel N] [-benchjson FILE]
+//
+// The solver figure races all four registered solving strategies on
+// the 13-benchmark corpus; -benchjson additionally writes the sweep
+// machine-readably (the committed BENCH_solver.json).
 package main
 
 import (
@@ -21,16 +25,17 @@ import (
 )
 
 func main() {
-	figure := flag.String("figure", "all", "which figure to regenerate: all, 5, 6, 7, 8, 9, examples, scaling or corpus")
+	figure := flag.String("figure", "all", "which figure to regenerate: all, 5, 6, 7, 8, 9, examples, scaling, corpus or solver")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool width for the corpus sweep")
+	benchjson := flag.String("benchjson", "", "with -figure solver: also write the sweep as JSON to this file")
 	flag.Parse()
-	if err := run(*figure, *parallel); err != nil {
+	if err := run(*figure, *parallel, *benchjson); err != nil {
 		fmt.Fprintln(os.Stderr, "mhpbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(figure string, parallel int) error {
+func run(figure string, parallel int, benchjson string) error {
 	want := map[string]bool{}
 	if figure == "all" {
 		for _, f := range []string{"examples", "5", "6", "7", "8", "9", "corpus"} {
@@ -87,8 +92,22 @@ func run(figure string, parallel int) error {
 		section("Scaling study: solver time vs program size (Section 5.2 complexity)")
 		fmt.Print(experiments.FormatScaling(experiments.Scaling(experiments.DefaultScalingSizes)))
 	}
+	if want["solver"] {
+		section("Solver strategies: 13 benchmarks × 4 strategies")
+		bench, err := experiments.RunSolverBench(3)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatSolverBench(bench))
+		if benchjson != "" {
+			if err := experiments.WriteSolverBenchJSON(bench, benchjson); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", benchjson)
+		}
+	}
 	if len(want) == 0 {
-		return fmt.Errorf("nothing selected; use -figure all|5|6|7|8|9|examples|scaling|corpus")
+		return fmt.Errorf("nothing selected; use -figure all|5|6|7|8|9|examples|scaling|corpus|solver")
 	}
 	return nil
 }

@@ -32,7 +32,7 @@ func captureRunParallel(t *testing.T, figure string, parallel int) (string, erro
 		}
 		done <- sb.String()
 	}()
-	ferr := run(figure, parallel)
+	ferr := run(figure, parallel, "")
 	w.Close()
 	os.Stdout = old
 	return <-done, ferr
@@ -96,6 +96,33 @@ func TestUnknownFigure(t *testing.T) {
 	}
 	if strings.Contains(out, "Figure") {
 		t.Fatalf("unexpected output for unknown figure:\n%s", out)
+	}
+}
+
+func TestSolverSection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full strategy sweep")
+	}
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() { os.Stdout = old; devnull.Close() }()
+
+	path := t.TempDir() + "/bench.json"
+	if err := run("solver", 1, path); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("benchjson not written: %v", err)
+	}
+	for _, frag := range []string{`"strategy": "topo"`, `"benchmark": "mg"`, `"ns_per_op"`, `"evaluations"`, `"allocs_per_op"`} {
+		if !strings.Contains(string(data), frag) {
+			t.Fatalf("benchjson missing %q:\n%s", frag, data)
+		}
 	}
 }
 

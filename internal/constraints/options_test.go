@@ -7,7 +7,8 @@ import (
 )
 
 // TestOptionsNormalize pins the single-place resolution of the
-// Monolithic/Worklist mutual exclusion: Worklist wins.
+// strategy flags' mutual exclusion: Topo wins over Worklist wins over
+// Monolithic.
 func TestOptionsNormalize(t *testing.T) {
 	cases := []struct {
 		in, want Options
@@ -16,6 +17,10 @@ func TestOptionsNormalize(t *testing.T) {
 		{Options{Monolithic: true}, Options{Monolithic: true}},
 		{Options{Worklist: true}, Options{Worklist: true}},
 		{Options{Monolithic: true, Worklist: true}, Options{Worklist: true}},
+		{Options{Topo: true}, Options{Topo: true}},
+		{Options{Topo: true, Worklist: true}, Options{Topo: true}},
+		{Options{Topo: true, Monolithic: true}, Options{Topo: true}},
+		{Options{Topo: true, Worklist: true, Monolithic: true}, Options{Topo: true}},
 	}
 	for _, c := range cases {
 		if got := c.in.Normalize(); got != c.want {

@@ -40,6 +40,9 @@ func (b pairBag) unionWith(o pairBag) bool {
 
 // crossSym adds (A × B) ∪ (B × A) and reports change.
 func (b pairBag) crossSym(a, bb *intset.Set) bool {
+	if a.Empty() || bb.Empty() {
+		return false // both products are empty (O(1) on cached counts)
+	}
 	changed := false
 	a.Each(func(i int) {
 		bb.Each(func(j int) {

@@ -11,11 +11,12 @@ import (
 
 // Options configures constraint solving.
 //
-// Monolithic and Worklist are mutually exclusive; Solve normalizes
-// the combination (Worklist wins) via Normalize, so the pair never
-// selects an undefined hybrid. Engine callers should prefer the named
-// strategies of internal/engine, whose registry makes the invalid
-// combination unrepresentable.
+// Monolithic, Worklist and Topo are mutually exclusive; Solve
+// normalizes the combination (Topo wins over Worklist wins over
+// Monolithic) via Normalize, so the flags never select an undefined
+// hybrid. Engine callers should prefer the named strategies of
+// internal/engine, whose registry makes the invalid combinations
+// unrepresentable.
 type Options struct {
 	// Monolithic disables the paper's three-phase optimization
 	// (Section 5.3) and instead iterates level-1 and level-2
@@ -29,12 +30,24 @@ type Options struct {
 	// reported instead of pass counts. Mutually exclusive with
 	// Monolithic (Worklist wins).
 	Worklist bool
+	// Topo eliminates iteration instead of just pruning it: each
+	// level's constraint graph is condensed into strongly connected
+	// components (Tarjan), every variable in a cycle provably shares
+	// the SCC's least value and is aliased to one representative, and
+	// components are solved exactly once in topological order (see
+	// topo.go). Results are identical; Evaluations counts the
+	// near-minimal constraint evaluations. Wins over both other
+	// flags.
+	Topo bool
 }
 
-// Normalize resolves the Monolithic/Worklist mutual exclusion: if
-// both are set, Worklist wins and Monolithic is cleared. Solve calls
-// this, so it is the single place the invariant is enforced.
+// Normalize resolves the strategy flags' mutual exclusion: Topo wins
+// over Worklist, which wins over Monolithic. Solve calls this, so it
+// is the single place the invariant is enforced.
 func (o Options) Normalize() Options {
+	if o.Topo {
+		o.Worklist, o.Monolithic = false, false
+	}
 	if o.Worklist {
 		o.Monolithic = false
 	}
@@ -57,8 +70,15 @@ type Solution struct {
 	IterL1      int
 	IterL2      int
 	// Evaluations counts individual constraint evaluations in
-	// worklist mode.
+	// worklist and topo modes. The topo solver evaluates each
+	// constraint at most once (copy-elided constraints not at all),
+	// so its count is a lower bound the worklist count can be
+	// compared against.
 	Evaluations int64
+
+	// scratch holds buffers the iterative solvers share across the
+	// two levels; it is released before Solve returns.
+	scratch solverScratch
 
 	// Duration is the wall time of Solve (constraint solving only;
 	// see internal/experiments for end-to-end pipeline timing).
@@ -91,14 +111,22 @@ func (s *System) Solve(opts Options) *Solution {
 		pairVals:    make([]pairBag, len(s.PairVarNames)),
 		IterSlabels: s.Info.Iterations,
 	}
-	for i := range sol.setVals {
-		sol.setVals[i] = intset.New(n)
-	}
-	for i := range sol.pairVals {
-		sol.pairVals[i] = pairBag{}
+	// The topo solver allocates its own valuation (one slab for all
+	// set variables, aliased pair bags); the iterative solvers start
+	// from an explicit bottom valuation.
+	if !opts.Topo {
+		for i := range sol.setVals {
+			sol.setVals[i] = intset.New(n)
+		}
+		for i := range sol.pairVals {
+			sol.pairVals[i] = pairBag{}
+		}
 	}
 
 	switch {
+	case opts.Topo:
+		sol.solveTopoL1()
+		sol.solveTopoL2()
 	case opts.Worklist:
 		sol.solveL1Worklist()
 		sol.solveL2Worklist()
@@ -108,6 +136,7 @@ func (s *System) Solve(opts Options) *Solution {
 		sol.solveL1()
 		sol.solveL2()
 	}
+	sol.scratch = solverScratch{}
 
 	sol.Duration = time.Since(start)
 	runtime.ReadMemStats(&ms1)

@@ -1,0 +1,142 @@
+package constraints
+
+import (
+	"testing"
+
+	"fx10/internal/fixtures"
+	"fx10/internal/labels"
+	"fx10/internal/parser"
+	"fx10/internal/progen"
+	"fx10/internal/syntax"
+)
+
+// recursiveSource has mutually recursive methods, so the level-1 (and
+// through the call rule, level-2) constraint graphs contain genuine
+// cycles: the topo solver must collapse multi-member SCCs, not just
+// order a DAG.
+const recursiveSource = `
+array 4;
+void f() {
+  async { a[0] = 1; }
+  g();
+}
+void g() {
+  a[1] = 2;
+  f();
+}
+void main() {
+  finish { f(); }
+  a[2] = 3;
+}
+`
+
+// TestTopoEqualsPhased checks the topo strategy reaches the same
+// least solution as the pass-based reference on the paper examples, a
+// recursive program, and a seeded progen sweep, in both modes.
+func TestTopoEqualsPhased(t *testing.T) {
+	sources := []string{fixtures.Example21Source, fixtures.Example22Source, recursiveSource}
+	var programs []*syntax.Program
+	for _, src := range sources {
+		programs = append(programs, parser.MustParse(src))
+	}
+	for seed := int64(300); seed < 320; seed++ {
+		programs = append(programs, progen.Generate(seed, progen.Default()))
+	}
+	for pi, p := range programs {
+		for _, mode := range []Mode{ContextSensitive, ContextInsensitive} {
+			sys := Generate(labels.Compute(p), mode)
+			phased := sys.Solve(Options{})
+			topo := sys.Solve(Options{Topo: true})
+			if !phased.ValuationEqual(topo) {
+				t.Fatalf("program %d (%v): topo valuation differs from phased\n%s",
+					pi, mode, syntax.Print(p))
+			}
+			if topo.IterL1 != 0 || topo.IterL2 != 0 {
+				t.Errorf("program %d (%v): topo ran pass-based phases (IterL1=%d IterL2=%d)",
+					pi, mode, topo.IterL1, topo.IterL2)
+			}
+		}
+	}
+}
+
+// TestTopoEvaluationsAtMostWorklist checks the cycle-elimination
+// payoff claim: the topo solver evaluates each constraint at most
+// once, so its evaluation count can never exceed the worklist's
+// (which seeds every constraint at least once).
+func TestTopoEvaluationsAtMostWorklist(t *testing.T) {
+	var programs []*syntax.Program
+	for _, src := range []string{fixtures.Example21Source, fixtures.Example22Source, recursiveSource} {
+		programs = append(programs, parser.MustParse(src))
+	}
+	for seed := int64(400); seed < 420; seed++ {
+		programs = append(programs, progen.Generate(seed, progen.Default()))
+	}
+	for pi, p := range programs {
+		for _, mode := range []Mode{ContextSensitive, ContextInsensitive} {
+			sys := Generate(labels.Compute(p), mode)
+			_, l1, l2 := sys.Counts()
+			worklist := sys.Solve(Options{Worklist: true})
+			topo := sys.Solve(Options{Topo: true})
+			if topo.Evaluations > worklist.Evaluations {
+				t.Errorf("program %d (%v): topo evaluations %d > worklist %d",
+					pi, mode, topo.Evaluations, worklist.Evaluations)
+			}
+			if max := int64(l1 + l2); topo.Evaluations > max {
+				t.Errorf("program %d (%v): topo evaluations %d > constraint count %d",
+					pi, mode, topo.Evaluations, max)
+			}
+		}
+	}
+}
+
+// TestTopoAliasingPointerDistinct checks that the SCC collapse and
+// copy elision stay internal: the materialized valuation hands every
+// set variable its own Set, so no sharing is visible to callers even
+// though whole alias chains were solved as one value. (Pair variables
+// are never exposed by reference — PairValue densifies a fresh copy —
+// so aliased bags are unobservable by construction; the set side is
+// where accidental sharing could leak.)
+func TestTopoAliasingPointerDistinct(t *testing.T) {
+	for _, src := range []string{fixtures.Example21Source, fixtures.Example22Source, recursiveSource} {
+		p := parser.MustParse(src)
+		for _, mode := range []Mode{ContextSensitive, ContextInsensitive} {
+			sys := Generate(labels.Compute(p), mode)
+			topo := sys.Solve(Options{Topo: true})
+			if !topo.ValuationEqual(sys.Solve(Options{})) {
+				t.Fatalf("%v: topo valuation differs from phased", mode)
+			}
+			ptrs := map[interface{}]SetVar{}
+			for v := 0; v < sys.NumSetVars(); v++ {
+				s := topo.SetValue(SetVar(v))
+				if s == nil {
+					t.Fatalf("%v: set variable %s has nil value", mode, sys.SetVarNames[v])
+				}
+				if prev, dup := ptrs[s]; dup {
+					t.Fatalf("%v: set variables %s and %s share one *Set",
+						mode, sys.SetVarNames[prev], sys.SetVarNames[v])
+				}
+				ptrs[s] = SetVar(v)
+			}
+			// Densified pair values are fresh per call.
+			for v := 0; v < sys.NumPairVars(); v++ {
+				if topo.PairValue(PairVar(v)) == topo.PairValue(PairVar(v)) {
+					t.Fatalf("%v: PairValue(%s) returned a shared pair set", mode, sys.PairVarNames[v])
+				}
+			}
+		}
+	}
+}
+
+// TestTopoElidesCopies pins that copy elision actually fires: on the
+// worked examples the topo solver must evaluate strictly fewer
+// constraints than exist (straight-line programs are full of
+// single-inflow copy variables).
+func TestTopoElidesCopies(t *testing.T) {
+	p := parser.MustParse(fixtures.Example21Source)
+	sys := Generate(labels.Compute(p), ContextSensitive)
+	_, l1, l2 := sys.Counts()
+	topo := sys.Solve(Options{Topo: true})
+	if total := int64(l1 + l2); topo.Evaluations >= total {
+		t.Fatalf("no copy elision: %d evaluations for %d constraints", topo.Evaluations, total)
+	}
+}

@@ -14,10 +14,11 @@ import (
 // paper's Theorems 5–6: the constraint system has a unique least
 // solution, so every solving strategy — phased (the Section 5.3
 // three-phase optimization), monolithic (the unoptimized joint
-// fixpoint) and worklist (change-driven re-evaluation) — must assign
-// bit-identical values to every set and pair variable. It sweeps a
-// seeded progen corpus of 50 programs (25 full-calculus, 25
-// loop-free) in both analysis modes.
+// fixpoint), worklist (change-driven re-evaluation) and topo
+// (SCC-condensed topological propagation) — must assign bit-identical
+// values to every set and pair variable. It sweeps a seeded progen
+// corpus of 50 programs (25 full-calculus, 25 loop-free) in both
+// analysis modes.
 func TestStrategyEquivalenceProgenCorpus(t *testing.T) {
 	var programs []*syntax.Program
 	for seed := int64(0); seed < 25; seed++ {
@@ -27,11 +28,11 @@ func TestStrategyEquivalenceProgenCorpus(t *testing.T) {
 		programs = append(programs, progen.Generate(seed, progen.Finite()))
 	}
 
-	// The three built-in strategies, resolved through the registry so
+	// The four built-in strategies, resolved through the registry so
 	// the test exercises the same lookup path engine callers use.
 	// (Strategies() is not swept wholesale: other tests register
 	// throwaway strategies in the shared registry.)
-	names := []string{"phased", "monolithic", "worklist"}
+	names := []string{"phased", "monolithic", "worklist", "topo"}
 	strategies := make([]Strategy, len(names))
 	for i, name := range names {
 		s, err := Lookup(name)
@@ -80,7 +81,7 @@ func TestStrategyEquivalenceViaEngines(t *testing.T) {
 		})
 	}
 	base := MustNew(Config{Strategy: "phased", CacheSize: -1}).AnalyzeCorpus(jobs)
-	for _, name := range []string{"monolithic", "worklist"} {
+	for _, name := range []string{"monolithic", "worklist", "topo"} {
 		got := MustNew(Config{Strategy: name, CacheSize: -1}).AnalyzeCorpus(jobs)
 		for i := range jobs {
 			if base[i].Err != nil || got[i].Err != nil {

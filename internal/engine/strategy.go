@@ -26,9 +26,9 @@ type Strategy interface {
 const DefaultStrategy = "phased"
 
 // optionsStrategy adapts a fixed constraints.Options to the Strategy
-// interface — all three built-in strategies are spellings of it. The
-// adapter holds a normalized Options, so the Monolithic/Worklist
-// conflict is unrepresentable for engine callers.
+// interface — all four built-in strategies are spellings of it. The
+// adapter holds a normalized Options, so the flag conflicts are
+// unrepresentable for engine callers.
 type optionsStrategy struct {
 	name string
 	opts constraints.Options
@@ -56,6 +56,7 @@ func init() {
 	MustRegister(FromOptions("phased", constraints.Options{}))
 	MustRegister(FromOptions("monolithic", constraints.Options{Monolithic: true}))
 	MustRegister(FromOptions("worklist", constraints.Options{Worklist: true}))
+	MustRegister(FromOptions("topo", constraints.Options{Topo: true}))
 }
 
 // Register adds a strategy to the registry. It fails on an empty name

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunSolverBench checks the sweep's shape and its two structural
+// guarantees: every (benchmark, strategy) cell is present, and the
+// topo solver never evaluates more constraints than the worklist
+// solver on the same benchmark (each constraint is evaluated at most
+// once after SCC condensation).
+func TestRunSolverBench(t *testing.T) {
+	bench, err := RunSolverBench(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(bench.Rows), 13*len(SolverBenchStrategies); got != want {
+		t.Fatalf("got %d rows, want %d", got, want)
+	}
+	evals := map[[2]string]int64{}
+	for _, r := range bench.Rows {
+		if r.NsPerOp <= 0 {
+			t.Errorf("%s/%s: non-positive ns/op %d", r.Benchmark, r.Strategy, r.NsPerOp)
+		}
+		switch r.Strategy {
+		case "phased", "monolithic":
+			if r.Passes == 0 {
+				t.Errorf("%s/%s: pass-based strategy reports 0 passes", r.Benchmark, r.Strategy)
+			}
+		case "worklist", "topo":
+			if r.Evaluations == 0 {
+				t.Errorf("%s/%s: evaluation-counting strategy reports 0 evaluations", r.Benchmark, r.Strategy)
+			}
+		}
+		evals[[2]string{r.Benchmark, r.Strategy}] = r.Evaluations
+	}
+	for k, topo := range evals {
+		if k[1] != "topo" {
+			continue
+		}
+		if wl := evals[[2]string{k[0], "worklist"}]; topo > wl {
+			t.Errorf("%s: topo evaluations %d > worklist %d", k[0], topo, wl)
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := WriteSolverBenchJSON(bench, path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back SolverBench
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if len(back.Rows) != len(bench.Rows) {
+		t.Fatalf("round-trip lost rows: %d != %d", len(back.Rows), len(bench.Rows))
+	}
+}

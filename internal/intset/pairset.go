@@ -18,6 +18,16 @@ type PairSet struct {
 	n     int      // universe size per coordinate
 	w     int      // words per row
 	words []uint64 // n rows of w words, row-major
+	count int      // cached population count (ordered pairs)
+
+	// CrossSym memo: the operands of the last CrossSym call and their
+	// generations. Pair sets only grow (Clear is the one removal and
+	// invalidates the memo), so once symcross(A, B) has been folded in,
+	// repeating it with unchanged operands provably adds nothing and is
+	// skipped without touching the bit matrix.
+	memoOK       bool
+	lastA, lastB *Set
+	genA, genB   uint32
 }
 
 // NewPairs returns an empty pair set over {0,…,n-1} × {0,…,n-1}.
@@ -49,8 +59,13 @@ func (p *PairSet) Add(i, j int) bool {
 	r := p.row(i)
 	w, b := j/wordBits, uint(j%wordBits)
 	old := r[w]
-	r[w] = old | (1 << b)
-	return r[w] != old
+	nw := old | (1 << b)
+	if nw == old {
+		return false
+	}
+	r[w] = nw
+	p.count++
+	return true
 }
 
 // AddSym inserts both (i, j) and (j, i); it reports whether the set changed.
@@ -72,9 +87,23 @@ func (p *PairSet) Has(i, j int) bool {
 // reports whether the set changed. A and B must share the pair set's
 // universe. This is the workhorse of the analysis: each Lcross, Scross
 // and Tcross in the paper is a CrossSym with particular arguments.
+//
+// Two fast paths skip the O(|A|·n/64 + |B|·n/64) word sweep entirely:
+// an empty operand makes both products empty, and operands that are
+// pointer- and generation-identical to the previous CrossSym call on
+// this pair set have already been folded in (pair sets only grow, so
+// the earlier fold still covers the product).
 func (p *PairSet) CrossSym(a, b *Set) bool {
 	if a.n != p.n || b.n != p.n {
 		panic(fmt.Sprintf("intset: CrossSym universe mismatch (%d, %d, %d)", a.n, b.n, p.n))
+	}
+	if a.count == 0 || b.count == 0 {
+		return false
+	}
+	if p.memoOK &&
+		((p.lastA == a && p.genA == a.gen && p.lastB == b && p.genB == b.gen) ||
+			(p.lastA == b && p.genA == b.gen && p.lastB == a && p.genB == a.gen)) {
+		return false
 	}
 	changed := false
 	a.Each(func(i int) {
@@ -84,6 +113,7 @@ func (p *PairSet) CrossSym(a, b *Set) bool {
 			nw := old | w
 			if nw != old {
 				r[k] = nw
+				p.count += bits.OnesCount64(nw &^ old)
 				changed = true
 			}
 		}
@@ -95,17 +125,24 @@ func (p *PairSet) CrossSym(a, b *Set) bool {
 			nw := old | w
 			if nw != old {
 				r[k] = nw
+				p.count += bits.OnesCount64(nw &^ old)
 				changed = true
 			}
 		}
 	})
+	p.memoOK, p.lastA, p.genA, p.lastB, p.genB = true, a, a.gen, b, b.gen
 	return changed
 }
 
 // UnionWith adds every pair of q to p and reports whether p changed.
+// An empty q and an already-saturated p short-circuit on the cached
+// population counts.
 func (p *PairSet) UnionWith(q *PairSet) bool {
 	if p.n != q.n {
 		panic(fmt.Sprintf("intset: mismatched pair universes %d and %d", p.n, q.n))
+	}
+	if q.count == 0 || p.count == p.n*p.n {
+		return false
 	}
 	changed := false
 	for i, w := range q.words {
@@ -113,6 +150,7 @@ func (p *PairSet) UnionWith(q *PairSet) bool {
 		nw := old | w
 		if nw != old {
 			p.words[i] = nw
+			p.count += bits.OnesCount64(nw &^ old)
 			changed = true
 		}
 	}
@@ -121,36 +159,29 @@ func (p *PairSet) UnionWith(q *PairSet) bool {
 
 // Clone returns an independent copy of p.
 func (p *PairSet) Clone() *PairSet {
-	c := &PairSet{n: p.n, w: p.w, words: make([]uint64, len(p.words))}
+	c := &PairSet{n: p.n, w: p.w, words: make([]uint64, len(p.words)), count: p.count}
 	copy(c.words, p.words)
 	return c
 }
 
-// Clear removes all pairs.
+// Clear removes all pairs and invalidates the CrossSym memo.
 func (p *PairSet) Clear() {
+	p.memoOK, p.lastA, p.lastB = false, nil, nil
+	if p.count == 0 {
+		return
+	}
 	for i := range p.words {
 		p.words[i] = 0
 	}
+	p.count = 0
 }
 
-// Len returns the number of ordered pairs in the set.
-func (p *PairSet) Len() int {
-	c := 0
-	for _, w := range p.words {
-		c += bits.OnesCount64(w)
-	}
-	return c
-}
+// Len returns the number of ordered pairs in the set (O(1): the
+// population count is maintained incrementally).
+func (p *PairSet) Len() int { return p.count }
 
 // Empty reports whether the set has no pairs.
-func (p *PairSet) Empty() bool {
-	for _, w := range p.words {
-		if w != 0 {
-			return false
-		}
-	}
-	return true
-}
+func (p *PairSet) Empty() bool { return p.count == 0 }
 
 // Equal reports whether p and q contain the same pairs.
 func (p *PairSet) Equal(q *PairSet) bool {
@@ -217,6 +248,9 @@ func (p *PairSet) Row(i int) *Set {
 	}
 	s := New(p.n)
 	copy(s.words, p.row(i))
+	for _, w := range s.words {
+		s.count += bits.OnesCount64(w)
+	}
 	return s
 }
 

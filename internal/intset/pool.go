@@ -1,0 +1,51 @@
+package intset
+
+import "sync"
+
+// PairSetPool recycles PairSets keyed by universe size. Densifying a
+// pair set over n labels allocates n·⌈n/64⌉ words; code that does this
+// repeatedly over the same universe — the direct type-inference
+// fixpoint discarding one environment per pass, corpus sweeps
+// re-analyzing same-shaped programs — churns the allocator for
+// identically-sized buffers. Get returns an empty pair set over the
+// requested universe, reusing a recycled one when available; Put hands
+// a pair set back. A pair set must not be used after Put, and must not
+// be Put twice. The pool is safe for concurrent use.
+type PairSetPool struct {
+	mu    sync.Mutex
+	pools map[int]*sync.Pool
+}
+
+// NewPairSetPool returns an empty pool.
+func NewPairSetPool() *PairSetPool {
+	return &PairSetPool{pools: make(map[int]*sync.Pool)}
+}
+
+// PairPool is the package-level default pool shared by the analysis.
+var PairPool = NewPairSetPool()
+
+func (pp *PairSetPool) pool(n int) *sync.Pool {
+	pp.mu.Lock()
+	defer pp.mu.Unlock()
+	sp, ok := pp.pools[n]
+	if !ok {
+		sp = &sync.Pool{New: func() any { return NewPairs(n) }}
+		pp.pools[n] = sp
+	}
+	return sp
+}
+
+// Get returns an empty pair set over {0, …, n-1} × {0, …, n-1}.
+func (pp *PairSetPool) Get(n int) *PairSet {
+	return pp.pool(n).Get().(*PairSet)
+}
+
+// Put recycles p for a later Get of the same universe size. Put clears
+// p; the caller must drop every reference to it.
+func (pp *PairSetPool) Put(p *PairSet) {
+	if p == nil {
+		return
+	}
+	p.Clear()
+	pp.pool(p.n).Put(p)
+}

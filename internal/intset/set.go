@@ -28,9 +28,19 @@ func wordsFor(n int) int {
 }
 
 // Set is a dense bit-vector set over the universe {0, …, n-1}.
+//
+// Two derived quantities are maintained incrementally: count, the
+// population count (making Len and Empty O(1) and enabling the
+// empty-operand and already-full fast paths of UnionWith and
+// PairSet.CrossSym), and gen, a generation counter bumped on every
+// content change. gen is the dirty bit of the cross-product memo:
+// PairSet.CrossSym remembers the (pointer, gen) of its last operands,
+// and an unchanged generation proves a repeat call cannot add pairs.
 type Set struct {
 	n     int
 	words []uint64
+	count int    // cached population count
+	gen   uint32 // bumped whenever the contents change
 }
 
 // New returns an empty set over the universe {0, …, n-1}.
@@ -40,6 +50,29 @@ func New(n int) *Set {
 		panic(fmt.Sprintf("intset: negative universe size %d", n))
 	}
 	return &Set{n: n, words: make([]uint64, wordsFor(n))}
+}
+
+// NewBatch returns k independent empty sets over {0, …, n-1} backed
+// by a single slab allocation (one words array, one Set array). A
+// fixpoint solver that knows up front how many variables it solves
+// allocates 3 objects instead of 2k; the sets are otherwise ordinary
+// and never observably shared.
+func NewBatch(n, k int) []*Set {
+	if n < 0 {
+		panic(fmt.Sprintf("intset: negative universe size %d", n))
+	}
+	if k <= 0 {
+		return nil
+	}
+	w := wordsFor(n)
+	slab := make([]uint64, k*w)
+	sets := make([]Set, k)
+	out := make([]*Set, k)
+	for i := range sets {
+		sets[i] = Set{n: n, words: slab[i*w : (i+1)*w : (i+1)*w]}
+		out[i] = &sets[i]
+	}
+	return out
 }
 
 // Of returns a set over the universe {0, …, n-1} containing the given
@@ -67,8 +100,14 @@ func (s *Set) Add(e int) bool {
 	s.check(e)
 	w, b := e/wordBits, uint(e%wordBits)
 	old := s.words[w]
-	s.words[w] = old | (1 << b)
-	return s.words[w] != old
+	nw := old | (1 << b)
+	if nw == old {
+		return false
+	}
+	s.words[w] = nw
+	s.count++
+	s.gen++
+	return true
 }
 
 // Remove deletes e from the set and reports whether the set changed.
@@ -76,8 +115,14 @@ func (s *Set) Remove(e int) bool {
 	s.check(e)
 	w, b := e/wordBits, uint(e%wordBits)
 	old := s.words[w]
-	s.words[w] = old &^ (1 << b)
-	return s.words[w] != old
+	nw := old &^ (1 << b)
+	if nw == old {
+		return false
+	}
+	s.words[w] = nw
+	s.count--
+	s.gen++
+	return true
 }
 
 // Has reports whether e is in the set.
@@ -89,17 +134,26 @@ func (s *Set) Has(e int) bool {
 }
 
 // UnionWith adds every element of t to s and reports whether s changed.
-// The sets must share a universe size.
+// The sets must share a universe size. An empty t and an already-full
+// s are detected from the cached population counts without touching
+// the words.
 func (s *Set) UnionWith(t *Set) bool {
 	s.sameUniverse(t)
+	if t.count == 0 || s.count == s.n {
+		return false
+	}
 	changed := false
 	for i, w := range t.words {
 		old := s.words[i]
 		nw := old | w
 		if nw != old {
 			s.words[i] = nw
+			s.count += bits.OnesCount64(nw &^ old)
 			changed = true
 		}
+	}
+	if changed {
+		s.gen++
 	}
 	return changed
 }
@@ -114,8 +168,12 @@ func (s *Set) IntersectWith(t *Set) bool {
 		nw := old & w
 		if nw != old {
 			s.words[i] = nw
+			s.count -= bits.OnesCount64(old &^ nw)
 			changed = true
 		}
+	}
+	if changed {
+		s.gen++
 	}
 	return changed
 }
@@ -124,14 +182,21 @@ func (s *Set) IntersectWith(t *Set) bool {
 // s changed.
 func (s *Set) DifferenceWith(t *Set) bool {
 	s.sameUniverse(t)
+	if t.count == 0 || s.count == 0 {
+		return false
+	}
 	changed := false
 	for i, w := range t.words {
 		old := s.words[i]
 		nw := old &^ w
 		if nw != old {
 			s.words[i] = nw
+			s.count -= bits.OnesCount64(old &^ nw)
 			changed = true
 		}
+	}
+	if changed {
+		s.gen++
 	}
 	return changed
 }
@@ -144,36 +209,38 @@ func (s *Set) sameUniverse(t *Set) {
 
 // Clone returns an independent copy of s.
 func (s *Set) Clone() *Set {
-	c := &Set{n: s.n, words: make([]uint64, len(s.words))}
+	c := &Set{n: s.n, words: make([]uint64, len(s.words)), count: s.count}
 	copy(c.words, s.words)
 	return c
 }
 
+// CopyFrom overwrites s with the contents of t. The sets must share a
+// universe size.
+func (s *Set) CopyFrom(t *Set) {
+	s.sameUniverse(t)
+	copy(s.words, t.words)
+	s.count = t.count
+	s.gen++
+}
+
 // Clear removes all elements.
 func (s *Set) Clear() {
+	if s.count == 0 {
+		return
+	}
 	for i := range s.words {
 		s.words[i] = 0
 	}
+	s.count = 0
+	s.gen++
 }
 
-// Len returns the number of elements in the set.
-func (s *Set) Len() int {
-	c := 0
-	for _, w := range s.words {
-		c += bits.OnesCount64(w)
-	}
-	return c
-}
+// Len returns the number of elements in the set (O(1): the population
+// count is maintained incrementally).
+func (s *Set) Len() int { return s.count }
 
 // Empty reports whether the set has no elements.
-func (s *Set) Empty() bool {
-	for _, w := range s.words {
-		if w != 0 {
-			return false
-		}
-	}
-	return true
-}
+func (s *Set) Empty() bool { return s.count == 0 }
 
 // Equal reports whether s and t contain the same elements.
 func (s *Set) Equal(t *Set) bool {

@@ -99,10 +99,11 @@ func NewChecker(in *labels.Info) *Checker {
 func (c *Checker) Info() *labels.Info { return c.in }
 
 // JudgeStmt computes the unique M, O with p, E, R ⊢ s : M, O
-// (rules (50)–(56)). R is not mutated; the results are fresh. A nil s
-// (empty continuation) yields (∅, R).
+// (rules (50)–(56)). R is not mutated; the results are fresh (M is
+// drawn from the pair-set pool; callers that discard it may recycle it
+// with intset.PairPool.Put).
 func (c *Checker) JudgeStmt(env Env, r *intset.Set, s *syntax.Stmt) (*intset.PairSet, *intset.Set) {
-	m := intset.NewPairs(c.n)
+	m := intset.PairPool.Get(c.n)
 	o := c.judgeInto(m, env, r, s)
 	return m, o
 }
@@ -235,6 +236,7 @@ func (c *Checker) Check(env Env) error {
 			return fmt.Errorf("types: method %q: O mismatch (judged %v, env %v)",
 				meth.Name, got.O, env[mi].O)
 		}
+		intset.PairPool.Put(got.M) // judged copy is checked and dead
 	}
 	return nil
 }
@@ -261,6 +263,11 @@ func (c *Checker) Infer() InferResult {
 			if !next[mi].Equal(env[mi]) {
 				changed = true
 			}
+		}
+		// The superseded environment's pair sets are dead once next is
+		// built; recycle them for the following pass's judgments.
+		for _, s := range env {
+			intset.PairPool.Put(s.M)
 		}
 		env = next
 		if !changed {
