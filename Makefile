@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: verify build vet test race bench benchsmoke profile figures solverbench
+.PHONY: verify build vet test race bench benchsmoke profile figures solverbench fuzz fuzz-smoke
 
 verify: build vet race
 
@@ -41,3 +41,12 @@ solverbench:
 
 figures:
 	$(GO) run ./cmd/mhpbench -figure all
+
+# fuzz is the full differential soundness run (observed ⊆ exact ⊆
+# static across all solver strategies); fuzz-smoke is the fixed-seed
+# CI subset, sized to finish within a minute.
+fuzz:
+	$(GO) run ./cmd/fx10 fuzz -seeds 1,2,3,4 -n 250
+
+fuzz-smoke:
+	$(GO) run ./cmd/fx10 fuzz -seeds 1 -n 200

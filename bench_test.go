@@ -31,7 +31,7 @@ func BenchmarkExample1Inference(b *testing.B) {
 	p := fixtures.Example21()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		mhp.Analyze(p, constraints.ContextSensitive)
+		mhp.MustAnalyze(p, constraints.ContextSensitive)
 	}
 }
 
@@ -41,7 +41,7 @@ func BenchmarkExample2Inference(b *testing.B) {
 	p := fixtures.Example22()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		mhp.Analyze(p, constraints.ContextSensitive)
+		mhp.MustAnalyze(p, constraints.ContextSensitive)
 	}
 }
 
@@ -104,7 +104,7 @@ func BenchmarkInferenceFig8(b *testing.B) {
 		b.Run(wl.Name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				r := mhp.Analyze(p, constraints.ContextSensitive)
+				r := mhp.MustAnalyze(p, constraints.ContextSensitive)
 				c := mhp.CountPairs(r.AsyncBodyPairs())
 				if c.Total == 0 && want.PairsTotal != 0 {
 					b.Fatal("no pairs")
@@ -132,7 +132,7 @@ func BenchmarkContextInsensitiveFig9(b *testing.B) {
 			b.Run(fmt.Sprintf("%s/%s", name, mode), func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
-					mhp.Analyze(p, mode)
+					mhp.MustAnalyze(p, mode)
 				}
 			})
 		}

@@ -8,6 +8,7 @@
 //	fx10 mhp        [-mode M] [-pairs] [-races] [-places] FILE
 //	fx10 constraints [-mode M] FILE
 //	fx10 explore    [-max N] [-a CSV] FILE
+//	fx10 fuzz       [-seeds CSV] [-n N] [-budget N] [-parallel N] [-minimize]
 //	fx10 print      FILE
 //	fx10 check      FILE
 //
@@ -15,8 +16,10 @@
 // executes with real goroutines (internal/runtime); mhp runs the
 // may-happen-in-parallel analysis; constraints prints the generated
 // constraint system (Figure 5 style); explore computes the exact MHP
-// relation by exhaustive interleaving search; print pretty-prints;
-// check parses and validates.
+// relation by exhaustive interleaving search; fuzz differentially
+// tests the analysis against the explorer and the instrumented
+// runtime (internal/difffuzz); print pretty-prints; check parses and
+// validates.
 package main
 
 import (
@@ -49,7 +52,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: fx10 <run|exec|clocked|mhp|constraints|explore|print|check> [flags] FILE")
+		return fmt.Errorf("usage: fx10 <run|exec|clocked|mhp|constraints|explore|fuzz|print|check> [flags] FILE")
 	}
 	cmd, rest := args[0], args[1:]
 	switch cmd {
@@ -65,6 +68,8 @@ func run(args []string) error {
 		return cmdConstraints(rest)
 	case "explore":
 		return cmdExplore(rest)
+	case "fuzz":
+		return cmdFuzz(rest)
 	case "print":
 		return cmdPrint(rest)
 	case "check":
@@ -224,7 +229,10 @@ func cmdMHP(args []string) error {
 	if err != nil {
 		return err
 	}
-	r := mhp.Analyze(p, m)
+	r, err := mhp.Analyze(p, m)
+	if err != nil {
+		return err
+	}
 	if *asJSON {
 		return r.WriteJSON(os.Stdout)
 	}

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	mhpbench [-figure all|5|6|7|8|9|examples|scaling|corpus|solver] [-parallel N] [-benchjson FILE]
+//	mhpbench [-figure all|5|6|7|8|9|examples|precision|scaling|corpus|solver] [-parallel N] [-benchjson FILE]
 //
 // The solver figure races all four registered solving strategies on
 // the 13-benchmark corpus; -benchjson additionally writes the sweep
@@ -51,7 +51,11 @@ func run(figure string, parallel int, benchjson string) error {
 
 	if want["examples"] {
 		section("Worked examples (Sections 2.1 and 2.2)")
-		for _, ex := range []experiments.ExampleResult{experiments.Example21(), experiments.Example22()} {
+		for _, run := range []func() (experiments.ExampleResult, error){experiments.Example21, experiments.Example22} {
+			ex, err := run()
+			if err != nil {
+				return err
+			}
 			status := "MATCHES PAPER"
 			if !ex.Match {
 				status = "MISMATCH"
@@ -74,11 +78,19 @@ func run(figure string, parallel int, benchjson string) error {
 	}
 	if want["8"] {
 		section("Figure 8: type inference (context-sensitive)")
-		fmt.Print(experiments.FormatFigure8(experiments.Figure8()))
+		rows, err := experiments.Figure8()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatFigure8(rows))
 	}
 	if want["9"] {
 		section("Figure 9: context-sensitive vs context-insensitive (mg, plasma)")
-		fmt.Print(experiments.FormatFigure9(experiments.Figure9()))
+		rows, err := experiments.Figure9()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatFigure9(rows))
 	}
 	if want["corpus"] {
 		section("Corpus engine: 13 benchmarks, parallel vs sequential")
@@ -88,9 +100,21 @@ func run(figure string, parallel int, benchjson string) error {
 		}
 		fmt.Print(experiments.FormatCorpus(run))
 	}
+	if want["precision"] {
+		section("Precision study: exact (explorer) vs static M per benchmark (Theorem 2)")
+		rows, err := experiments.TheoremPrecision(experiments.DefaultPrecisionBudget)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatPrecision(rows))
+	}
 	if want["scaling"] {
 		section("Scaling study: solver time vs program size (Section 5.2 complexity)")
-		fmt.Print(experiments.FormatScaling(experiments.Scaling(experiments.DefaultScalingSizes)))
+		rows, err := experiments.Scaling(experiments.DefaultScalingSizes)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatScaling(rows))
 	}
 	if want["solver"] {
 		section("Solver strategies: 13 benchmarks × 4 strategies")
@@ -107,7 +131,7 @@ func run(figure string, parallel int, benchjson string) error {
 		}
 	}
 	if len(want) == 0 {
-		return fmt.Errorf("nothing selected; use -figure all|5|6|7|8|9|examples|scaling|corpus|solver")
+		return fmt.Errorf("nothing selected; use -figure all|5|6|7|8|9|examples|precision|scaling|corpus|solver")
 	}
 	return nil
 }

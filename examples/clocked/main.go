@@ -61,7 +61,7 @@ func main() {
 
 	// 2. The erased analysis is sound but conservative: it pairs the
 	// phase-0 writes with the phase-1 reads.
-	r := mhp.Analyze(p, constraints.ContextSensitive)
+	r := mhp.MustAnalyze(p, constraints.ContextSensitive)
 	pi := clocks.ComputePhases(p)
 	refined := pi.Refine(r.M)
 

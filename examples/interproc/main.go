@@ -21,8 +21,8 @@ func main() {
 	fmt.Println("program (paper, Section 2.2):")
 	fmt.Print(fixtures.Example22Source)
 
-	cs := mhp.Analyze(p, constraints.ContextSensitive)
-	ci := mhp.Analyze(p, constraints.ContextInsensitive)
+	cs := mhp.MustAnalyze(p, constraints.ContextSensitive)
+	ci := mhp.MustAnalyze(p, constraints.ContextInsensitive)
 
 	show := func(name string, r *mhp.Result) {
 		var pairs []string

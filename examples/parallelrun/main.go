@@ -84,7 +84,7 @@ func main() {
 
 	// 4. Places extension.
 	q := parser.MustParse(placed)
-	r := mhp.Analyze(q, constraints.ContextSensitive)
+	r := mhp.MustAnalyze(q, constraints.ContextSensitive)
 	pi := places.Compute(q)
 	refined := pi.Refine(r.M)
 	fmt.Printf("\nplaces extension: %d MHP pairs, %d at a common place\n", r.M.Len(), refined.Len())

@@ -48,7 +48,7 @@ func main() {
 		res.Steps, res.Done, res.Final.A, res.Final.A[2])
 
 	// 2. Analyze: which labeled statements may happen in parallel?
-	r := mhp.Analyze(p, constraints.ContextSensitive)
+	r := mhp.MustAnalyze(p, constraints.ContextSensitive)
 	var pairs []string
 	r.M.Each(func(i, j int) {
 		if i <= j {

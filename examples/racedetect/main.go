@@ -63,7 +63,7 @@ void main() {
 
 func analyze(name, src string) []mhp.RaceCandidate {
 	p := parser.MustParse(src)
-	r := mhp.Analyze(p, constraints.ContextSensitive)
+	r := mhp.MustAnalyze(p, constraints.ContextSensitive)
 	races := r.RaceCandidates()
 	fmt.Printf("%s: %d race candidates\n", name, len(races))
 	for _, rc := range races {
@@ -114,7 +114,7 @@ func main() {
 	// itself in the buggy version (two concurrent calls).
 	p := parser.MustParse(buggy)
 	w, _ := p.LabelByName("W")
-	r := mhp.Analyze(p, constraints.ContextSensitive)
+	r := mhp.MustAnalyze(p, constraints.ContextSensitive)
 	fmt.Println()
 	fmt.Printf("W may happen in parallel with itself: %v\n", r.MayHappenInParallel(w, w))
 	_ = syntax.Print

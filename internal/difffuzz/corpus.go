@@ -1,0 +1,68 @@
+package difffuzz
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"fx10/internal/parser"
+	"fx10/internal/syntax"
+)
+
+// WriteFailure persists a violation's reproducer (the minimized
+// program when available, the original otherwise) as a commented
+// .fx10 file in dir, creating dir if needed. The header comments
+// record the violation's kind, seed and witness; the parser ignores
+// them, so the file replays directly. It returns the written path.
+func WriteFailure(dir string, v *Violation) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	p, provenance := v.Program, "original program"
+	if v.Minimized != nil {
+		p, provenance = v.Minimized, "minimized reproducer"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "// difffuzz %s\n", provenance)
+	fmt.Fprintf(&b, "// kind:   %s\n", v.Kind)
+	fmt.Fprintf(&b, "// seed:   %d\n", v.Seed)
+	fmt.Fprintf(&b, "// detail: %s\n", strings.ReplaceAll(v.Detail, "\n", " "))
+	b.WriteString("// replayed by internal/difffuzz TestFailureCorpusReplays.\n\n")
+	b.WriteString(syntax.Print(p))
+	path := filepath.Join(dir, fmt.Sprintf("%s-seed%d.fx10", v.Kind, v.Seed))
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// LoadCorpus parses every .fx10 file in dir, keyed by filename. A
+// missing directory is an empty corpus, not an error.
+func LoadCorpus(dir string) (map[string]*syntax.Program, error) {
+	entries, err := os.ReadDir(dir)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]*syntax.Program{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".fx10") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		p, err := parser.Parse(string(data))
+		if err != nil {
+			return nil, fmt.Errorf("difffuzz: corpus file %s: %w", e.Name(), err)
+		}
+		out[e.Name()] = p
+	}
+	return out, nil
+}

@@ -1,0 +1,346 @@
+package difffuzz
+
+import (
+	"fx10/internal/parser"
+	"fx10/internal/syntax"
+)
+
+// Minimize shrinks p while pred keeps holding, ddmin-style: each
+// round generates candidate reductions (drop a method, delete an
+// instruction, splice out a nesting level, inline a call, simplify an
+// assignment, shrink the array), accepts the first candidate that
+// still satisfies pred, and restarts from it. It stops at a local
+// minimum or after budget pred evaluations, returning the smallest
+// program found (p itself if nothing smaller reproduces).
+//
+// pred must hold on p; candidates that fail to build (e.g. by
+// breaking call resolution) are skipped without consuming budget.
+func Minimize(p *syntax.Program, pred func(*syntax.Program) bool, budget int) *syntax.Program {
+	cur := fromProgram(p)
+	best := p
+	used := 0
+	improved := true
+	for improved && used < budget {
+		improved = false
+		for _, cand := range candidates(cur) {
+			if used >= budget {
+				break
+			}
+			cp, err := cand.toProgram()
+			if err != nil {
+				continue
+			}
+			used++
+			if pred(cp) {
+				cur, best = cand, cp
+				improved = true
+				break
+			}
+		}
+	}
+	return best
+}
+
+// CountInstrs returns the total number of instructions in p,
+// including all nested bodies.
+func CountInstrs(p *syntax.Program) int {
+	n := 0
+	p.EachInstr(func(int, syntax.Instr) { n++ })
+	return n
+}
+
+// The minimizer works on a mutable mirror of the AST: syntax.Stmt
+// spines are immutable and share labels, so shrinking edits are
+// applied to this IR and a fresh Program (with fresh labels) is built
+// per candidate.
+
+type mInstr struct {
+	kind    syntax.Kind
+	d       int         // assign/while array index
+	rhs     syntax.Expr // assign right-hand side
+	callee  string      // call target
+	place   int         // async place (Section 8 extension)
+	clocked bool        // clocked async (Section 8 extension)
+	body    []*mInstr   // while/async/finish body
+}
+
+type mMethod struct {
+	name string
+	body []*mInstr
+}
+
+type mProg struct {
+	arrayLen int
+	methods  []*mMethod
+}
+
+func fromProgram(p *syntax.Program) *mProg {
+	m := &mProg{arrayLen: p.ArrayLen}
+	for _, meth := range p.Methods {
+		m.methods = append(m.methods, &mMethod{name: meth.Name, body: fromStmt(meth.Body)})
+	}
+	return m
+}
+
+func fromStmt(s *syntax.Stmt) []*mInstr {
+	var out []*mInstr
+	for cur := s; cur != nil; cur = cur.Next {
+		mi := &mInstr{kind: cur.Instr.Kind()}
+		switch i := cur.Instr.(type) {
+		case *syntax.Assign:
+			mi.d, mi.rhs = i.D, i.Rhs
+		case *syntax.While:
+			mi.d = i.D
+			mi.body = fromStmt(i.Body)
+		case *syntax.Async:
+			mi.place, mi.clocked = i.Place, i.Clocked
+			mi.body = fromStmt(i.Body)
+		case *syntax.Finish:
+			mi.body = fromStmt(i.Body)
+		case *syntax.Call:
+			mi.callee = i.Name
+		}
+		out = append(out, mi)
+	}
+	return out
+}
+
+func cloneSeq(seq []*mInstr) []*mInstr {
+	out := make([]*mInstr, 0, len(seq))
+	for _, in := range seq {
+		c := *in
+		c.body = cloneSeq(in.body)
+		out = append(out, &c)
+	}
+	return out
+}
+
+func (m *mProg) clone() *mProg {
+	c := &mProg{arrayLen: m.arrayLen}
+	for _, meth := range m.methods {
+		c.methods = append(c.methods, &mMethod{name: meth.name, body: cloneSeq(meth.body)})
+	}
+	return c
+}
+
+// count returns the number of instructions in pre-order, the
+// numbering applyAt's index k refers to.
+func (m *mProg) count() int {
+	var n int
+	var walk func(seq []*mInstr)
+	walk = func(seq []*mInstr) {
+		for _, in := range seq {
+			n++
+			walk(in.body)
+		}
+	}
+	for _, meth := range m.methods {
+		walk(meth.body)
+	}
+	return n
+}
+
+// toProgram rebuilds a syntax.Program. Empty sequences (produced by
+// deletions) become a single skip, keeping statements non-empty as
+// the grammar requires.
+func (m *mProg) toProgram() (*syntax.Program, error) {
+	b := syntax.NewBuilder(m.arrayLen)
+	var build func(seq []*mInstr) *syntax.Stmt
+	build = func(seq []*mInstr) *syntax.Stmt {
+		if len(seq) == 0 {
+			return b.Stmts(b.Skip(""))
+		}
+		instrs := make([]syntax.Instr, 0, len(seq))
+		for _, in := range seq {
+			switch in.kind {
+			case syntax.KindSkip:
+				instrs = append(instrs, b.Skip(""))
+			case syntax.KindAssign:
+				instrs = append(instrs, b.Assign("", in.d, in.rhs))
+			case syntax.KindWhile:
+				instrs = append(instrs, b.While("", in.d, build(in.body)))
+			case syntax.KindAsync:
+				switch {
+				case in.clocked:
+					instrs = append(instrs, b.ClockedAsync("", build(in.body)))
+				case in.place != 0:
+					instrs = append(instrs, b.AsyncAt("", in.place, build(in.body)))
+				default:
+					instrs = append(instrs, b.Async("", build(in.body)))
+				}
+			case syntax.KindFinish:
+				instrs = append(instrs, b.Finish("", build(in.body)))
+			case syntax.KindCall:
+				instrs = append(instrs, b.Call("", in.callee))
+			case syntax.KindNext:
+				instrs = append(instrs, b.Next(""))
+			}
+		}
+		return b.Stmts(instrs...)
+	}
+	for _, meth := range m.methods {
+		if err := b.AddMethod(meth.name, build(meth.body)); err != nil {
+			return nil, err
+		}
+	}
+	p, err := b.Program()
+	if err != nil {
+		return nil, err
+	}
+	// Normalize through a print → reparse round trip: the builder
+	// numbers nested-body labels before their container, the parser
+	// numbers the container first. Reproducers are persisted as
+	// source text, so canonicalizing to parser numbering makes a
+	// reloaded .fx10 file label-identical to the program the
+	// violation was minimized against.
+	return parser.Parse(syntax.Print(p))
+}
+
+// An editOp rewrites the instruction at one pre-order position: it
+// returns the replacement sequence (possibly empty) and whether it
+// applies to this instruction at all.
+type editOp func(m *mProg, in *mInstr) ([]*mInstr, bool)
+
+// opDelete removes the instruction (and its whole body).
+func opDelete(_ *mProg, _ *mInstr) ([]*mInstr, bool) {
+	return nil, true
+}
+
+// opUnnest splices a while/async/finish body into the enclosing
+// sequence, removing one nesting level.
+func opUnnest(_ *mProg, in *mInstr) ([]*mInstr, bool) {
+	if in.body == nil {
+		return nil, false
+	}
+	return in.body, true
+}
+
+// opInline replaces a call with a copy of the callee's body.
+func opInline(m *mProg, in *mInstr) ([]*mInstr, bool) {
+	if in.kind != syntax.KindCall {
+		return nil, false
+	}
+	for _, meth := range m.methods {
+		if meth.name == in.callee {
+			return cloneSeq(meth.body), true
+		}
+	}
+	return nil, false
+}
+
+// opZeroRhs simplifies an assignment's right-hand side to the
+// constant 0.
+func opZeroRhs(_ *mProg, in *mInstr) ([]*mInstr, bool) {
+	if in.kind != syntax.KindAssign {
+		return nil, false
+	}
+	if c, ok := in.rhs.(syntax.Const); ok && c.C == 0 {
+		return nil, false
+	}
+	repl := *in
+	repl.rhs = syntax.Const{C: 0}
+	return []*mInstr{&repl}, true
+}
+
+// applyAt clones m and applies op to the instruction at pre-order
+// index k. It returns nil when op does not apply there.
+func (m *mProg) applyAt(k int, op editOp) *mProg {
+	c := m.clone()
+	ctr := 0
+	applied := false
+	var walk func(seq []*mInstr) []*mInstr
+	walk = func(seq []*mInstr) []*mInstr {
+		out := make([]*mInstr, 0, len(seq))
+		for _, in := range seq {
+			mine := ctr
+			ctr++
+			if mine == k {
+				if rep, ok := op(c, in); ok {
+					applied = true
+					out = append(out, rep...)
+					continue
+				}
+				out = append(out, in)
+				continue
+			}
+			in.body = walk(in.body)
+			out = append(out, in)
+		}
+		return out
+	}
+	for _, meth := range c.methods {
+		meth.body = walk(meth.body)
+	}
+	if !applied {
+		return nil
+	}
+	return c
+}
+
+// dropMethod removes method mi and deletes every call to it.
+func (m *mProg) dropMethod(mi int) *mProg {
+	c := m.clone()
+	name := c.methods[mi].name
+	c.methods = append(c.methods[:mi], c.methods[mi+1:]...)
+	var strip func(seq []*mInstr) []*mInstr
+	strip = func(seq []*mInstr) []*mInstr {
+		out := make([]*mInstr, 0, len(seq))
+		for _, in := range seq {
+			if in.kind == syntax.KindCall && in.callee == name {
+				continue
+			}
+			in.body = strip(in.body)
+			out = append(out, in)
+		}
+		return out
+	}
+	for _, meth := range c.methods {
+		meth.body = strip(meth.body)
+	}
+	return c
+}
+
+// shrinkArray reduces the array length by one, remapping every index
+// into the smaller range.
+func (m *mProg) shrinkArray() *mProg {
+	c := m.clone()
+	c.arrayLen--
+	var remap func(seq []*mInstr)
+	remap = func(seq []*mInstr) {
+		for _, in := range seq {
+			in.d %= c.arrayLen
+			if p, ok := in.rhs.(syntax.Plus); ok {
+				in.rhs = syntax.Plus{D: p.D % c.arrayLen}
+			}
+			remap(in.body)
+		}
+	}
+	for _, meth := range c.methods {
+		remap(meth.body)
+	}
+	return c
+}
+
+// candidates generates one round of reductions, biggest first: whole
+// methods, then per-instruction deletions, unnestings, call inlinings
+// and assignment simplifications, then the array shrink.
+func candidates(m *mProg) []*mProg {
+	var out []*mProg
+	for mi := range m.methods {
+		if m.methods[mi].name != "main" {
+			out = append(out, m.dropMethod(mi))
+		}
+	}
+	n := m.count()
+	for _, op := range []editOp{opDelete, opUnnest, opInline, opZeroRhs} {
+		for k := 0; k < n; k++ {
+			if c := m.applyAt(k, op); c != nil {
+				out = append(out, c)
+			}
+		}
+	}
+	if m.arrayLen > 1 {
+		out = append(out, m.shrinkArray())
+	}
+	return out
+}

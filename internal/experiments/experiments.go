@@ -59,9 +59,15 @@ type ExampleResult struct {
 
 // runExample analyzes one fixture program and compares with the
 // paper's expected pairs.
-func runExample(name, src string, expect [][2]string) ExampleResult {
-	p := parser.MustParse(src)
-	r := mhp.Analyze(p, constraints.ContextSensitive)
+func runExample(name, src string, expect [][2]string) (ExampleResult, error) {
+	p, err := parser.Parse(src)
+	if err != nil {
+		return ExampleResult{}, fmt.Errorf("experiments: parse %s: %w", name, err)
+	}
+	r, err := mhp.Analyze(p, constraints.ContextSensitive)
+	if err != nil {
+		return ExampleResult{}, fmt.Errorf("experiments: analyze %s: %w", name, err)
+	}
 	var got []string
 	r.M.Each(func(i, j int) {
 		if i <= j {
@@ -85,7 +91,7 @@ func runExample(name, src string, expect [][2]string) ExampleResult {
 		Pairs:    got,
 		Expected: want,
 		Match:    strings.Join(got, " ") == strings.Join(want, " "),
-	}
+	}, nil
 }
 
 func pairName(p *syntax.Program, i, j int) string {
@@ -93,12 +99,12 @@ func pairName(p *syntax.Program, i, j int) string {
 }
 
 // Example21 reproduces the Section 2.1 analysis.
-func Example21() ExampleResult {
+func Example21() (ExampleResult, error) {
 	return runExample("example-2.1", fixtures.Example21Source, fixtures.Example21MHP)
 }
 
 // Example22 reproduces the Section 2.2 analysis.
-func Example22() ExampleResult {
+func Example22() (ExampleResult, error) {
 	return runExample("example-2.2", fixtures.Example22Source, fixtures.Example22MHP)
 }
 
@@ -211,12 +217,12 @@ type Fig8Row struct {
 // the given mode through the engine, timing the analysis stages
 // (Slabels fixpoint + constraint generation + solving), as the
 // paper's Figure 8 does.
-func analyzeBenchmark(b *workloads.Benchmark, mode constraints.Mode) Fig8Row {
+func analyzeBenchmark(b *workloads.Benchmark, mode constraints.Mode) (Fig8Row, error) {
 	res, err := figEngine.Analyze(engine.Job{Name: b.Name, Program: b.Program(), Mode: mode})
 	if err != nil {
-		panic(err)
+		return Fig8Row{}, fmt.Errorf("experiments: analyze %s: %w", b.Name, err)
 	}
-	return fig8RowFrom(b, mode, res)
+	return fig8RowFrom(b, mode, res), nil
 }
 
 // fig8RowFrom converts one engine result to its figure row; the
@@ -235,12 +241,16 @@ func fig8RowFrom(b *workloads.Benchmark, mode constraints.Mode, res *engine.Resu
 }
 
 // Figure8 runs the context-sensitive inference on all benchmarks.
-func Figure8() []Fig8Row {
+func Figure8() ([]Fig8Row, error) {
 	var rows []Fig8Row
 	for _, b := range workloads.All() {
-		rows = append(rows, analyzeBenchmark(b, constraints.ContextSensitive))
+		row, err := analyzeBenchmark(b, constraints.ContextSensitive)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
 	}
-	return rows
+	return rows, nil
 }
 
 // FormatFigure8 renders the rows.
@@ -266,19 +276,22 @@ func FormatFigure8(rows []Fig8Row) string {
 }
 
 // Figure9 runs both analyses on mg and plasma.
-func Figure9() []Fig8Row {
+func Figure9() ([]Fig8Row, error) {
 	var rows []Fig8Row
 	for _, name := range []string{"mg", "plasma"} {
 		b, err := workloads.Get(name)
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
-		rows = append(rows,
-			analyzeBenchmark(b, constraints.ContextSensitive),
-			analyzeBenchmark(b, constraints.ContextInsensitive),
-		)
+		for _, mode := range []constraints.Mode{constraints.ContextSensitive, constraints.ContextInsensitive} {
+			row, err := analyzeBenchmark(b, mode)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
 	}
-	return rows
+	return rows, nil
 }
 
 // FormatFigure9 renders the rows.

@@ -22,7 +22,11 @@ func TestFigure5ContainsPaperConstraints(t *testing.T) {
 }
 
 func TestExamplesMatchPaper(t *testing.T) {
-	for _, ex := range []ExampleResult{Example21(), Example22()} {
+	for _, run := range []func() (ExampleResult, error){Example21, Example22} {
+		ex, err := run()
+		if err != nil {
+			t.Fatal(err)
+		}
 		if !ex.Match {
 			t.Fatalf("%s: inferred %v, paper expects %v", ex.Name, ex.Pairs, ex.Expected)
 		}
@@ -69,7 +73,10 @@ func TestFigure8And9(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full inference over all benchmarks")
 	}
-	rows := Figure8()
+	rows, err := Figure8()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 13 {
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -86,7 +93,10 @@ func TestFigure8And9(t *testing.T) {
 		t.Fatalf("figure 8 format malformed")
 	}
 
-	rows9 := Figure9()
+	rows9, err := Figure9()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows9) != 4 {
 		t.Fatalf("figure 9 rows = %d, want 4", len(rows9))
 	}
@@ -129,7 +139,10 @@ func TestCorpusParallelIdentical(t *testing.T) {
 	}
 	// The parallel rows are the Figure 8 table: pair counts must
 	// match the sequential figure exactly.
-	fig8 := Figure8()
+	fig8, err := Figure8()
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i, r := range run.Rows {
 		if r.Pairs != fig8[i].Pairs {
 			t.Errorf("%s: corpus pairs %+v != figure 8 pairs %+v", r.Name, r.Pairs, fig8[i].Pairs)
@@ -158,7 +171,10 @@ func TestTablePanicsOnBadRow(t *testing.T) {
 }
 
 func TestScaling(t *testing.T) {
-	rows := Scaling([]int{10, 20})
+	rows, err := Scaling([]int{10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 6 {
 		t.Fatalf("rows = %d, want 6", len(rows))
 	}

@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTheoremPrecision is the benchmark-scale Theorem 2 containment
+// check: the exact MHP relation found by budget-bounded exploration
+// must be inside the static M on all 13 workloads. TheoremPrecision
+// itself errors on any containment violation.
+func TestTheoremPrecision(t *testing.T) {
+	budget := 5000
+	if testing.Short() {
+		budget = 500
+	}
+	rows, err := TheoremPrecision(budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 13 {
+		t.Fatalf("rows = %d, want 13", len(rows))
+	}
+	for _, r := range rows {
+		if r.States == 0 {
+			t.Errorf("%s: explorer visited no states", r.Name)
+		}
+		if r.Gap < 0 {
+			t.Errorf("%s: negative gap %d (static %d < exact %d)", r.Name, r.Gap, r.Static, r.Exact)
+		}
+		if r.Static == 0 {
+			t.Errorf("%s: static relation empty", r.Name)
+		}
+	}
+	out := FormatPrecision(rows)
+	for _, frag := range []string{"benchmark", "gap", "Theorem 2"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("format missing %q:\n%s", frag, out)
+		}
+	}
+}

@@ -75,13 +75,13 @@ func LoopsProgram(n int) *syntax.Program {
 
 // measure runs the full inference pipeline on one program through
 // the engine (timing the analysis stages only).
-func measure(family string, size int, p *syntax.Program) ScalingRow {
+func measure(family string, size int, p *syntax.Program) (ScalingRow, error) {
 	res, err := figEngine.Analyze(engine.Job{
 		Name:    fmt.Sprintf("%s(%d)", family, size),
 		Program: p,
 	})
 	if err != nil {
-		panic(err)
+		return ScalingRow{}, fmt.Errorf("experiments: analyze %s(%d): %w", family, size, err)
 	}
 	return ScalingRow{
 		Family: family,
@@ -89,22 +89,30 @@ func measure(family string, size int, p *syntax.Program) ScalingRow {
 		Labels: p.NumLabels(),
 		Pairs:  res.M.Len(),
 		TimeMS: float64(res.Stats.PipelineDuration().Microseconds()) / 1000.0,
-	}
+	}, nil
 }
 
 // Scaling measures all three families at the given sizes.
-func Scaling(sizes []int) []ScalingRow {
+func Scaling(sizes []int) ([]ScalingRow, error) {
 	var rows []ScalingRow
-	for _, n := range sizes {
-		rows = append(rows, measure("chain", n, ChainProgram(n)))
+	families := []struct {
+		name  string
+		build func(int) *syntax.Program
+	}{
+		{"chain", ChainProgram},
+		{"wide", WideProgram},
+		{"loops", LoopsProgram},
 	}
-	for _, n := range sizes {
-		rows = append(rows, measure("wide", n, WideProgram(n)))
+	for _, f := range families {
+		for _, n := range sizes {
+			row, err := measure(f.name, n, f.build(n))
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
 	}
-	for _, n := range sizes {
-		rows = append(rows, measure("loops", n, LoopsProgram(n)))
-	}
-	return rows
+	return rows, nil
 }
 
 // DefaultScalingSizes is what cmd/mhpbench sweeps. The adversarial

@@ -21,7 +21,7 @@ void main() {
   R: a[1] = a[0] + 1;
 }
 `)
-	r := mhp.Analyze(p, constraints.ContextSensitive)
+	r := mhp.MustAnalyze(p, constraints.ContextSensitive)
 
 	var pairs []string
 	r.M.Each(func(i, j int) {

@@ -38,15 +38,24 @@ var analyzeEngine = engine.MustNew(engine.Config{CacheSize: -1})
 
 // Analyze runs the full pipeline on p in the given mode. It is a
 // thin compatibility wrapper over internal/engine with the default
-// (phased) strategy.
-func Analyze(p *syntax.Program, mode constraints.Mode) *Result {
+// (phased) strategy. Pipeline failures are returned, not panicked:
+// library callers decide how to surface them.
+func Analyze(p *syntax.Program, mode constraints.Mode) (*Result, error) {
 	res, err := analyzeEngine.Analyze(engine.Job{Program: p, Mode: mode})
 	if err != nil {
-		// Unreachable: parse errors cannot occur when a Program is
-		// supplied and the default strategy is always registered.
+		return nil, err
+	}
+	return FromEngine(res), nil
+}
+
+// MustAnalyze is Analyze, panicking on error — for tests, examples
+// and benchmarks wired with known-good programs.
+func MustAnalyze(p *syntax.Program, mode constraints.Mode) *Result {
+	r, err := Analyze(p, mode)
+	if err != nil {
 		panic(err)
 	}
-	return FromEngine(res)
+	return r
 }
 
 // FromEngine adapts an engine result to the mhp report API.

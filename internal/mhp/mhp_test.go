@@ -22,7 +22,7 @@ func label(t *testing.T, p *syntax.Program, name string) syntax.Label {
 
 func TestAnalyzeExample22Queries(t *testing.T) {
 	p := fixtures.Example22()
-	r := Analyze(p, constraints.ContextSensitive)
+	r := MustAnalyze(p, constraints.ContextSensitive)
 	s3 := label(t, p, "S3")
 	s4 := label(t, p, "S4")
 	s5 := label(t, p, "S5")
@@ -40,7 +40,7 @@ func TestAnalyzeExample22Queries(t *testing.T) {
 
 func TestAsyncBodyPairsExample22(t *testing.T) {
 	p := fixtures.Example22()
-	r := Analyze(p, constraints.ContextSensitive)
+	r := MustAnalyze(p, constraints.ContextSensitive)
 	pairs := r.AsyncBodyPairs()
 	// Expected async-body pairs: (A3,A5) via S3↔S5 — different
 	// methods; (A4,A5) via S4/A4↔S5 — different methods.
@@ -68,7 +68,7 @@ void main() {
   }
 }
 `)
-	r := Analyze(p, constraints.ContextSensitive)
+	r := MustAnalyze(p, constraints.ContextSensitive)
 	counts := CountPairs(r.AsyncBodyPairs())
 	// (B1,B1) and (B2,B2) self via loop; (B1,B2) same-method.
 	if counts.Self != 2 || counts.Same != 1 || counts.Diff != 0 || counts.Total != 3 {
@@ -89,7 +89,7 @@ void main() {
   }
 }
 `)
-	r := Analyze(p, constraints.ContextSensitive)
+	r := MustAnalyze(p, constraints.ContextSensitive)
 	counts := CountPairs(r.AsyncBodyPairs())
 	if counts.Diff != 1 || counts.Self != 2 || counts.Same != 0 {
 		t.Fatalf("counts = %+v, pairs = %v", counts, r.AsyncBodyPairs())
@@ -107,7 +107,7 @@ void main() {
   }
 }
 `)
-	r := Analyze(p, constraints.ContextSensitive)
+	r := MustAnalyze(p, constraints.ContextSensitive)
 	if got := r.AsyncBodyPairs(); len(got) != 0 {
 		t.Fatalf("finish-wrapped loop async should yield no pairs, got %v", got)
 	}
@@ -123,7 +123,7 @@ void main() {
   S:  a[2] = 3;
 }
 `)
-	r := Analyze(p, constraints.ContextSensitive)
+	r := MustAnalyze(p, constraints.ContextSensitive)
 	races := r.RaceCandidates()
 	type key struct {
 		a, b  string
@@ -159,7 +159,7 @@ void main() {
   R1: a[1] = a[0] + 1;
 }
 `)
-	r := Analyze(p, constraints.ContextSensitive)
+	r := MustAnalyze(p, constraints.ContextSensitive)
 	if races := r.RaceCandidates(); len(races) != 0 {
 		t.Fatalf("finish-synchronized program reported races: %v", races)
 	}
@@ -173,7 +173,7 @@ void main() {
   L: while (a[0] != 0) { skip; }
 }
 `)
-	r := Analyze(p, constraints.ContextSensitive)
+	r := MustAnalyze(p, constraints.ContextSensitive)
 	races := r.RaceCandidates()
 	found := false
 	for _, rc := range races {
@@ -191,7 +191,7 @@ void main() {
 
 func TestCheckFalsePositivesCleanProgram(t *testing.T) {
 	p := fixtures.Example22()
-	r := Analyze(p, constraints.ContextSensitive)
+	r := MustAnalyze(p, constraints.ContextSensitive)
 	rep := r.CheckFalsePositives(nil, 1_000_000)
 	if !rep.Complete {
 		t.Fatalf("exploration incomplete")
@@ -219,7 +219,7 @@ void main() {
   B2: async { S2: skip; }
 }
 `)
-	r := Analyze(p, constraints.ContextSensitive)
+	r := MustAnalyze(p, constraints.ContextSensitive)
 	rep := r.CheckFalsePositives(nil, 1_000_000)
 	if !rep.Complete || !rep.SoundnessHolds {
 		t.Fatalf("exploration incomplete or unsound")
@@ -243,8 +243,8 @@ void main() {
 
 func TestContextInsensitiveMoreAsyncPairs(t *testing.T) {
 	p := fixtures.Example22()
-	cs := Analyze(p, constraints.ContextSensitive)
-	ci := Analyze(p, constraints.ContextInsensitive)
+	cs := MustAnalyze(p, constraints.ContextSensitive)
+	ci := MustAnalyze(p, constraints.ContextInsensitive)
 	if len(ci.AsyncBodyPairs()) < len(cs.AsyncBodyPairs()) {
 		t.Fatalf("CI reported fewer async pairs than CS")
 	}
@@ -279,7 +279,7 @@ func TestCategoryString(t *testing.T) {
 
 func TestReportJSON(t *testing.T) {
 	p := fixtures.Example22()
-	r := Analyze(p, constraints.ContextSensitive)
+	r := MustAnalyze(p, constraints.ContextSensitive)
 	rep := r.Report()
 	if rep.Mode != "context-sensitive" || rep.Methods != 2 || rep.Labels != p.NumLabels() {
 		t.Fatalf("header wrong: %+v", rep)
@@ -315,7 +315,7 @@ func TestReportJSON(t *testing.T) {
 
 func TestReportWithoutCachedEnv(t *testing.T) {
 	p := fixtures.Example22()
-	full := Analyze(p, constraints.ContextSensitive)
+	full := MustAnalyze(p, constraints.ContextSensitive)
 	bare := &Result{Program: full.Program, Info: full.Info, Sys: full.Sys, Sol: full.Sol, M: full.M}
 	rep := bare.Report()
 	if len(rep.Summaries) != 2 {

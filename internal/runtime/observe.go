@@ -1,0 +1,100 @@
+package runtime
+
+import (
+	"math/rand"
+	gort "runtime"
+	"sync"
+	"time"
+
+	"fx10/internal/intset"
+	"fx10/internal/syntax"
+)
+
+// observer implements the Options.RecordParallel instrumentation: it
+// tracks, per activity, the label of the instruction the activity has
+// arrived at but not yet executed (its "front", the runtime analogue
+// of the machine's FTlabels), and records a pair whenever one
+// activity executes an instruction while another is parked at a
+// front.
+//
+// Soundness (observed ⊆ exact MHP) rests on a two-phase protocol:
+//
+//  1. arrive(act, l) — the activity's next instruction is l; the
+//     front map is updated under the observer lock.
+//  2. commit(act, l, effect) — the instruction executes. Pairing with
+//     every other registered front AND the instruction's effect run
+//     in one critical section, and the activity's front is cleared
+//     before the lock is released.
+//
+// Because effects are serialized by the observer lock, the sequence
+// of commits is a legal interleaving of the formal semantics, and at
+// the moment act commits l every other registered front l' belongs to
+// an activity that has arrived at l' but not executed it — i.e. the
+// interleaving is in a state where both labels are fronts of parallel
+// leaves, so (l, l') ∈ parallel(state) ⊆ MHP(p). Fronts are cleared
+// while an activity is blocked joining a finish scope (its
+// continuation is not a front: parallel(T1 ▷ T2) = parallel(T1)) and
+// when it terminates.
+//
+// The protocol under-approximates on purpose: a front that is stale
+// (between an instruction's commit and the next arrive) is absent
+// from the map, so a pair may be missed but never invented.
+type observer struct {
+	mu    sync.Mutex
+	cur   map[int]syntax.Label // activity id → front label
+	pairs *intset.PairSet
+	rng   *rand.Rand // schedule perturbation; guarded by mu
+}
+
+func newObserver(numLabels int, seed int64) *observer {
+	return &observer{
+		cur:   map[int]syntax.Label{},
+		pairs: intset.NewPairs(numLabels),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// arrive registers l as act's front and occasionally perturbs the Go
+// scheduler (seeded) so repeated runs observe different
+// interleavings.
+func (o *observer) arrive(act int, l syntax.Label) {
+	o.mu.Lock()
+	o.cur[act] = l
+	jitter := o.rng.Intn(16)
+	var pause time.Duration
+	if jitter == 0 {
+		pause = time.Duration(1+o.rng.Intn(20)) * time.Microsecond
+	}
+	o.mu.Unlock()
+	switch {
+	case pause > 0:
+		time.Sleep(pause)
+	case jitter <= 3:
+		gort.Gosched()
+	}
+}
+
+// commit records l against every other registered front, runs the
+// instruction's effect (nil for pure control flow) in the same
+// critical section, and clears act's front.
+func (o *observer) commit(act int, l syntax.Label, effect func()) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for other, ol := range o.cur {
+		if other != act {
+			o.pairs.AddSym(int(l), int(ol))
+		}
+	}
+	if effect != nil {
+		effect()
+	}
+	delete(o.cur, act)
+}
+
+// depart clears act's front without executing anything: the activity
+// is blocked at a join or has terminated.
+func (o *observer) depart(act int) {
+	o.mu.Lock()
+	delete(o.cur, act)
+	o.mu.Unlock()
+}

@@ -1,0 +1,212 @@
+package runtime
+
+import (
+	"errors"
+	gort "runtime"
+	"testing"
+	"time"
+
+	"fx10/internal/explore"
+	"fx10/internal/intset"
+	"fx10/internal/parser"
+	"fx10/internal/progen"
+)
+
+// TestObservedSubsetOfExact is the core soundness property of the
+// instrumentation: every pair a recorded run observes must be in the
+// exact MHP relation computed by exhaustive exploration.
+func TestObservedSubsetOfExact(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		p := progen.Generate(seed, progen.Finite())
+		res := explore.MHP(p, nil, 300_000)
+		if !res.Complete {
+			t.Fatalf("seed %d: exploration incomplete", seed)
+		}
+		for run := int64(0); run < 4; run++ {
+			out, err := Run(p, nil, Options{RecordParallel: true, Seed: seed*100 + run})
+			if err != nil {
+				t.Fatalf("seed %d run %d: %v", seed, run, err)
+			}
+			if out.Observed == nil {
+				t.Fatalf("seed %d: RecordParallel produced no pair set", seed)
+			}
+			if !out.Observed.SubsetOf(res.MHP) {
+				t.Fatalf("seed %d run %d: observed %v not ⊆ exact %v",
+					seed, run, out.Observed, res.MHP)
+			}
+		}
+	}
+}
+
+// TestObservedFindsParallelism checks that the instrumentation is not
+// vacuous: across repeated runs of a program with forced parallelism,
+// at least one pair is observed.
+func TestObservedFindsParallelism(t *testing.T) {
+	p := parser.MustParse(`
+array 4;
+void main() {
+  finish {
+    A: async { W: a[1] = 41; X: a[1] = a[1] + 1; Y: skip; }
+    B: async { V: a[2] = 1; U: a[2] = a[2] + 1; Z: skip; }
+  }
+}
+`)
+	union := intset.NewPairs(p.NumLabels())
+	for run := int64(0); run < 200 && union.Empty(); run++ {
+		out, err := Run(p, nil, Options{RecordParallel: true, Seed: run})
+		if err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		union.UnionWith(out.Observed)
+	}
+	if union.Empty() {
+		t.Fatalf("200 recorded runs of a two-async program observed no parallel pair")
+	}
+}
+
+// TestObservedOffByDefault: without RecordParallel the result carries
+// no pair set and execution takes the uninstrumented path.
+func TestObservedOffByDefault(t *testing.T) {
+	p := progen.Generate(1, progen.Finite())
+	out, err := Run(p, nil, Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if out.Observed != nil {
+		t.Fatalf("Observed = %v without RecordParallel", out.Observed)
+	}
+}
+
+// divergent is a program whose asyncs spin forever: the canonical
+// fuel-exhaustion workload.
+const divergent = `
+array 2;
+void main() {
+  a[0] = 1;
+  finish {
+    async { while (a[0] != 0) { skip; } }
+    async { while (a[0] != 0) { skip; } }
+    async { while (a[0] != 0) { a[1] = a[1] + 1; } }
+  }
+}
+`
+
+// TestAbortedRunGoroutineBaseline asserts the ErrFuelExhausted
+// shutdown audit: after an aborted run every spawned goroutine has
+// exited and the process goroutine count returns to its baseline.
+func TestAbortedRunGoroutineBaseline(t *testing.T) {
+	p := parser.MustParse(divergent)
+	baseline := gort.NumGoroutine()
+	for trial := 0; trial < 20; trial++ {
+		_, err := Run(p, nil, Options{MaxSteps: 2000})
+		if !errors.Is(err, ErrFuelExhausted) {
+			t.Fatalf("trial %d: err = %v, want ErrFuelExhausted", trial, err)
+		}
+	}
+	// Run joins its goroutines before returning, so the count should
+	// already be back; allow a brief grace period for unrelated
+	// scheduler noise.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := gort.NumGoroutine(); n <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines = %d, baseline %d: aborted runs leaked", gort.NumGoroutine(), baseline)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestStepsNeverExceedBudget asserts the CAS fuel claim: even with
+// many activities racing for the last units, Steps stops exactly at
+// the budget.
+func TestStepsNeverExceedBudget(t *testing.T) {
+	p := parser.MustParse(divergent)
+	for _, budget := range []int64{1, 7, 100, 3001} {
+		res, err := Run(p, nil, Options{MaxSteps: budget})
+		if !errors.Is(err, ErrFuelExhausted) {
+			t.Fatalf("budget %d: err = %v, want ErrFuelExhausted", budget, err)
+		}
+		if res.Steps != budget {
+			t.Fatalf("budget %d: Steps = %d, want exactly the budget", budget, res.Steps)
+		}
+	}
+}
+
+// TestAbortAtInlineDegradeBoundary exercises fuel exhaustion while
+// the goroutine bound is forcing inline execution: the WaitGroup
+// bookkeeping must stay balanced (no double-Done panic, no hang) and
+// no goroutine may leak.
+func TestAbortAtInlineDegradeBoundary(t *testing.T) {
+	p := parser.MustParse(`
+array 2;
+void main() {
+  a[0] = 1;
+  finish {
+    async { async { async { while (a[0] != 0) { skip; } } } }
+    async { while (a[0] != 0) { skip; } }
+    async { while (a[0] != 0) { skip; } }
+  }
+}
+`)
+	baseline := gort.NumGoroutine()
+	for trial := int64(0); trial < 50; trial++ {
+		_, err := Run(p, nil, Options{MaxGoroutines: 1, MaxSteps: 500 + trial*13})
+		if !errors.Is(err, ErrFuelExhausted) {
+			t.Fatalf("trial %d: err = %v, want ErrFuelExhausted", trial, err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for gort.NumGoroutine() > baseline {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines = %d, baseline %d after aborted bounded runs", gort.NumGoroutine(), baseline)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRecordedRunMatchesSemantics: recording must not change what the
+// program computes — final arrays of recorded runs stay within the
+// machine-reachable set.
+func TestRecordedRunMatchesSemantics(t *testing.T) {
+	p := parser.MustParse(`
+array 2;
+void main() {
+  async { a[0] = 10; }
+  a[1] = a[0] + 1;
+}
+`)
+	finals, complete := explore.ReachableFinals(p, nil, 1_000_000)
+	if !complete {
+		t.Fatalf("exploration incomplete")
+	}
+	for run := int64(0); run < 100; run++ {
+		res, err := Run(p, nil, Options{RecordParallel: true, Seed: run})
+		if err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		key := ""
+		for i, v := range res.Array {
+			if i > 0 {
+				key += " "
+			}
+			key += string(rune('0' + v))
+		}
+		found := false
+		for _, f := range finals {
+			match := len(f) == len(res.Array)
+			for i := range f {
+				if match && f[i] != res.Array[i] {
+					match = false
+				}
+			}
+			if match {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("run %d: recorded run reached array %v unreachable in the formal semantics", run, res.Array)
+		}
+	}
+}

@@ -11,6 +11,11 @@
 // matches the interleaving semantics' per-instruction granularity.
 // FX10 is Turing-complete, so Run is fuel-bounded; exceeding the fuel
 // aborts all activities and returns ErrFuelExhausted.
+//
+// With Options.RecordParallel the run additionally records every
+// observed parallel label pair (see observer) into Result.Observed —
+// the dynamic lower bound the differential fuzzer checks against the
+// exact explorer and the static analysis.
 package runtime
 
 import (
@@ -18,6 +23,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"fx10/internal/intset"
 	"fx10/internal/syntax"
 )
 
@@ -35,6 +41,18 @@ type Options struct {
 	// MaxSteps is the instruction budget across all activities.
 	// 0 means DefaultMaxSteps.
 	MaxSteps int64
+	// RecordParallel enables the parallel-pair instrumentation:
+	// Result.Observed is populated with every label pair seen
+	// executing in parallel during this run. Recording serializes
+	// instruction effects through one lock, so it trades throughput
+	// for a soundness guarantee (Observed ⊆ MHP(p)); leave it off on
+	// performance-sensitive runs.
+	RecordParallel bool
+	// Seed seeds the schedule perturbation applied while recording
+	// (random yields and microsleeps), so repeated runs explore
+	// different interleavings. Only consulted when RecordParallel is
+	// set.
+	Seed int64
 }
 
 // DefaultMaxSteps is the fuel used when Options.MaxSteps is 0.
@@ -45,7 +63,9 @@ type Result struct {
 	// Array is the final array state; per the paper, the program's
 	// result is Array[0].
 	Array []int64
-	// Steps is the number of instructions executed.
+	// Steps is the number of instructions executed. The fuel counter
+	// is claimed with a CAS, so Steps never exceeds the budget even
+	// when many activities race for the last units.
 	Steps int64
 	// Spawned is the number of asyncs that became goroutines.
 	Spawned int64
@@ -55,9 +75,17 @@ type Result struct {
 	// MaxLive is the maximum number of concurrently live async
 	// goroutines observed.
 	MaxLive int64
+	// Observed is the set of observed parallel label pairs (symmetric;
+	// a lower bound on the exact MHP relation). Nil unless
+	// Options.RecordParallel was set.
+	Observed *intset.PairSet
 }
 
 // Run executes p from the initial array a0 (nil means all zeros).
+//
+// On ErrFuelExhausted every activity stops at its next step and all
+// spawned goroutines drain before Run returns: the returned Result is
+// complete and no goroutines leak from an aborted run.
 func Run(p *syntax.Program, a0 []int64, opts Options) (Result, error) {
 	maxSteps := opts.MaxSteps
 	if maxSteps <= 0 {
@@ -68,12 +96,17 @@ func Run(p *syntax.Program, a0 []int64, opts Options) (Result, error) {
 	if opts.MaxGoroutines > 0 {
 		r.sem = make(chan struct{}, opts.MaxGoroutines)
 	}
+	if opts.RecordParallel {
+		r.obs = newObserver(p.NumLabels(), opts.Seed)
+	}
 
 	var root sync.WaitGroup
-	r.exec(p.Main().Body, &root)
+	r.exec(p.Main().Body, &root, 0)
 	// Main's body may leave asyncs running (no implicit top-level
 	// finish in the calculus, but a complete execution means the
-	// whole tree reaches √, so we join them before reporting).
+	// whole tree reaches √, so we join them before reporting). Main's
+	// own front is cleared first: while joining it is not runnable.
+	r.depart(0)
 	root.Wait()
 
 	res := Result{
@@ -82,6 +115,9 @@ func Run(p *syntax.Program, a0 []int64, opts Options) (Result, error) {
 		Spawned: r.spawned.Load(),
 		Inlined: r.inlined.Load(),
 		MaxLive: r.maxLive.Load(),
+	}
+	if r.obs != nil {
+		res.Observed = r.obs.pairs
 	}
 	if r.aborted.Load() {
 		return res, ErrFuelExhausted
@@ -102,15 +138,30 @@ type runner struct {
 	inlined atomic.Int64
 	live    atomic.Int64
 	maxLive atomic.Int64
+
+	obs     *observer // nil unless Options.RecordParallel
+	nextAct atomic.Int64
 }
 
-// step burns one unit of fuel; it reports false when the run must
-// abort.
+// step claims one unit of fuel; it reports false when the run must
+// abort. The claim is a CAS loop rather than a blind Add so the
+// counter is exact: once the budget is reached no activity can push
+// Steps past it, and every activity observes the abort on its next
+// step.
 func (r *runner) step() bool {
-	if r.steps.Add(1) > r.maxSteps {
-		r.aborted.Store(true)
+	for {
+		if r.aborted.Load() {
+			return false
+		}
+		cur := r.steps.Load()
+		if cur >= r.maxSteps {
+			r.aborted.Store(true)
+			return false
+		}
+		if r.steps.CompareAndSwap(cur, cur+1) {
+			return true
+		}
 	}
-	return !r.aborted.Load()
 }
 
 // load reads a[d] atomically.
@@ -133,50 +184,99 @@ func (r *runner) store(d int, e syntax.Expr) {
 	}
 }
 
+// arrive, commit and depart forward to the observer when recording is
+// on; otherwise commit just runs the effect. See observer for the
+// protocol.
+func (r *runner) arrive(act int, l syntax.Label) {
+	if r.obs != nil {
+		r.obs.arrive(act, l)
+	}
+}
+
+func (r *runner) commit(act int, l syntax.Label, effect func()) {
+	if r.obs == nil {
+		if effect != nil {
+			effect()
+		}
+		return
+	}
+	r.obs.commit(act, l, effect)
+}
+
+func (r *runner) depart(act int) {
+	if r.obs != nil {
+		r.obs.depart(act)
+	}
+}
+
+// guard commits one while-guard evaluation (a machine step) and
+// reports whether the loop continues.
+func (r *runner) guard(act int, l syntax.Label, d int) bool {
+	var g int64
+	r.commit(act, l, func() { g = r.load(d) })
+	return g != 0
+}
+
 // exec runs the statement sequentially in the current goroutine.
 // scope is the innermost enclosing finish scope (or the root scope);
-// asyncs register with it.
-func (r *runner) exec(s *syntax.Stmt, scope *sync.WaitGroup) {
+// asyncs register with it. act identifies the executing activity for
+// the observer: an inlined async body keeps its parent's identity
+// (the parent is blocked while it runs, so they are one sequential
+// activity).
+func (r *runner) exec(s *syntax.Stmt, scope *sync.WaitGroup, act int) {
 	for cur := s; cur != nil; cur = cur.Next {
+		l := cur.Instr.Label()
+		r.arrive(act, l)
 		if !r.step() {
+			r.depart(act)
 			return
 		}
 		switch i := cur.Instr.(type) {
 		case *syntax.Skip:
-			// No effect.
+			r.commit(act, l, nil)
 
 		case *syntax.Next:
 			// Clock erasure (see internal/machine); the faithful
 			// barrier semantics lives in internal/clocks.
+			r.commit(act, l, nil)
 
 		case *syntax.Assign:
-			r.store(i.D, i.Rhs)
+			r.commit(act, l, func() { r.store(i.D, i.Rhs) })
 
 		case *syntax.While:
-			for r.load(i.D) != 0 {
-				r.exec(i.Body, scope)
+			for r.guard(act, l, i.D) {
+				r.exec(i.Body, scope, act)
+				r.arrive(act, l)
 				if !r.step() { // the guard re-check is a step
+					r.depart(act)
 					return
 				}
 			}
 
 		case *syntax.Async:
-			r.spawn(i.Body, scope)
+			r.commit(act, l, nil)
+			r.spawn(i.Body, scope, act)
 
 		case *syntax.Finish:
+			r.commit(act, l, nil)
 			var inner sync.WaitGroup
-			r.exec(i.Body, &inner)
+			r.exec(i.Body, &inner, act)
+			r.depart(act) // blocked at the join: not a front
 			inner.Wait()
 
 		case *syntax.Call:
-			r.exec(r.p.Methods[i.Method].Body, scope)
+			r.commit(act, l, nil)
+			r.exec(r.p.Methods[i.Method].Body, scope, act)
 		}
 	}
 }
 
 // spawn runs an async body: as a goroutine when a slot is available,
-// inline otherwise. Either way the body belongs to the current scope.
-func (r *runner) spawn(body *syntax.Stmt, scope *sync.WaitGroup) {
+// inline otherwise. Either way the body belongs to the current scope,
+// and the scope's WaitGroup is balanced on every path — the inline
+// path and the goroutine path each pair the single Add with exactly
+// one Done, including when the body aborts on fuel exhaustion.
+func (r *runner) spawn(body *syntax.Stmt, scope *sync.WaitGroup, act int) {
 	scope.Add(1)
 	if r.sem != nil {
 		select {
@@ -184,7 +284,7 @@ func (r *runner) spawn(body *syntax.Stmt, scope *sync.WaitGroup) {
 		default:
 			// No slot: run inline; still a valid interleaving.
 			r.inlined.Add(1)
-			r.exec(body, scope)
+			r.exec(body, scope, act)
 			scope.Done()
 			return
 		}
@@ -197,14 +297,16 @@ func (r *runner) spawn(body *syntax.Stmt, scope *sync.WaitGroup) {
 			break
 		}
 	}
+	child := int(r.nextAct.Add(1))
 	go func() {
 		defer func() {
+			r.depart(child)
 			r.live.Add(-1)
 			if r.sem != nil {
 				<-r.sem
 			}
 			scope.Done()
 		}()
-		r.exec(body, scope)
+		r.exec(body, scope, child)
 	}()
 }

@@ -69,7 +69,7 @@ func TestProgramsValidateAndAnalyze(t *testing.T) {
 		if err := syntax.Validate(p); err != nil {
 			t.Fatalf("%s: invalid lowered program: %v", b.Name, err)
 		}
-		r := mhp.Analyze(p, constraints.ContextSensitive)
+		r := mhp.MustAnalyze(p, constraints.ContextSensitive)
 		if r.M == nil {
 			t.Fatalf("%s: no analysis result", b.Name)
 		}
@@ -84,8 +84,8 @@ func TestCIOnlyDiffersOnMgAndPlasma(t *testing.T) {
 		t.Skip("analyzes all benchmarks twice")
 	}
 	for _, b := range All() {
-		cs := mhp.CountPairs(mhp.Analyze(b.Program(), constraints.ContextSensitive).AsyncBodyPairs())
-		ci := mhp.CountPairs(mhp.Analyze(b.Program(), constraints.ContextInsensitive).AsyncBodyPairs())
+		cs := mhp.CountPairs(mhp.MustAnalyze(b.Program(), constraints.ContextSensitive).AsyncBodyPairs())
+		ci := mhp.CountPairs(mhp.MustAnalyze(b.Program(), constraints.ContextInsensitive).AsyncBodyPairs())
 		bigTwo := b.Name == "mg" || b.Name == "plasma"
 		if bigTwo {
 			if ci.Total <= cs.Total {
@@ -107,7 +107,7 @@ func TestPairStructure(t *testing.T) {
 	}
 	counts := map[string]mhp.PairCounts{}
 	for _, b := range All() {
-		counts[b.Name] = mhp.CountPairs(mhp.Analyze(b.Program(), constraints.ContextSensitive).AsyncBodyPairs())
+		counts[b.Name] = mhp.CountPairs(mhp.MustAnalyze(b.Program(), constraints.ContextSensitive).AsyncBodyPairs())
 	}
 	// Every benchmark has at least one self pair (loop asyncs are the
 	// dominant X10 idiom).
