@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: verify build vet test race bench benchsmoke profile figures solverbench fuzz fuzz-smoke
+.PHONY: verify build vet test race bench benchsmoke profile figures solverbench incrementalbench fuzz fuzz-smoke
 
 verify: build vet race
 
@@ -38,6 +38,11 @@ profile:
 # solverbench regenerates the committed strategy comparison.
 solverbench:
 	$(GO) run ./cmd/mhpbench -figure solver -benchjson BENCH_solver.json
+
+# incrementalbench regenerates the committed edit-one-method sweep
+# (incremental re-analysis vs from scratch).
+incrementalbench:
+	$(GO) run ./cmd/mhpbench -figure incremental -benchjson BENCH_incremental.json
 
 figures:
 	$(GO) run ./cmd/mhpbench -figure all

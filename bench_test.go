@@ -14,6 +14,7 @@ import (
 	"fx10/internal/machine"
 	"fx10/internal/mhp"
 	"fx10/internal/parser"
+	"fx10/internal/progen"
 	"fx10/internal/runtime"
 	"fx10/internal/syntax"
 	"fx10/internal/types"
@@ -336,6 +337,44 @@ func BenchmarkEngineCacheHit(b *testing.B) {
 			b.Fatal("cache miss")
 		}
 	}
+}
+
+// BenchmarkEngineDelta measures incremental re-analysis after a
+// single-method edit (append one skip) against solving the edited
+// program from scratch, on the largest benchmark. Caching is off so
+// the delta solver itself is measured, not the program cache.
+func BenchmarkEngineDelta(b *testing.B) {
+	wl, err := workloads.Get("mg")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := wl.Program()
+	eng := engine.MustNew(engine.Config{CacheSize: -1})
+	base, err := eng.Analyze(engine.Job{Name: wl.Name, Program: p})
+	if err != nil {
+		b.Fatal(err)
+	}
+	edited := progen.AppendSkip(p, 0)
+	b.Run("delta", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := eng.AnalyzeDelta(base, edited)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Stats.Delta.Full {
+				b.Fatal("delta fell back to a full solve")
+			}
+		}
+	})
+	b.Run("scratch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Analyze(engine.Job{Name: wl.Name, Program: edited}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkScaling measures the full pipeline on the three

@@ -21,6 +21,7 @@ func cmdFuzz(args []string) error {
 	budget := fs.Int("budget", 200_000, "exhaustive-exploration state budget per program")
 	parallel := fs.Int("parallel", 0, "worker pool width (0 = GOMAXPROCS)")
 	minimize := fs.Bool("minimize", true, "delta-debug violating programs to minimal reproducers")
+	incremental := fs.Bool("incremental", true, "also check incremental re-analysis (AnalyzeDelta) against scratch on a mutated method")
 	runs := fs.Int("runs", 3, "recorded runtime executions per program")
 	steps := fs.Int64("steps", 100_000, "instruction budget per recorded execution")
 	failures := fs.String("failures", "testdata/fuzz-failures", "directory for reproducer files (written only on violation)")
@@ -42,14 +43,15 @@ func cmdFuzz(args []string) error {
 	}
 
 	cfg := difffuzz.Config{
-		Seeds:      seedVals,
-		N:          *n,
-		MaxStates:  *budget,
-		Runs:       *runs,
-		MaxSteps:   *steps,
-		Parallel:   *parallel,
-		Minimize:   *minimize,
-		FailureDir: *failures,
+		Seeds:       seedVals,
+		N:           *n,
+		MaxStates:   *budget,
+		Runs:        *runs,
+		MaxSteps:    *steps,
+		Parallel:    *parallel,
+		Incremental: *incremental,
+		Minimize:    *minimize,
+		FailureDir:  *failures,
 	}
 	if *selftest {
 		cfg.Static = difffuzz.UnsoundStatic(difffuzz.EngineStatic())

@@ -5,10 +5,10 @@
 //
 //	fx10 run        [-sched S] [-seed N] [-steps N] [-a CSV] [-trace] FILE
 //	fx10 exec       [-procs N] [-a CSV] FILE
-//	fx10 mhp        [-mode M] [-pairs] [-races] [-places] FILE
+//	fx10 mhp        [-mode M] [-strategy NAME] [-pairs] [-races] [-places] FILE
 //	fx10 constraints [-mode M] FILE
 //	fx10 explore    [-max N] [-a CSV] FILE
-//	fx10 fuzz       [-seeds CSV] [-n N] [-budget N] [-parallel N] [-minimize]
+//	fx10 fuzz       [-seeds CSV] [-n N] [-budget N] [-parallel N] [-minimize] [-incremental]
 //	fx10 print      FILE
 //	fx10 check      FILE
 //
@@ -32,6 +32,7 @@ import (
 
 	"fx10/internal/clocks"
 	"fx10/internal/constraints"
+	"fx10/internal/engine"
 	"fx10/internal/explore"
 	"fx10/internal/labels"
 	"fx10/internal/machine"
@@ -213,6 +214,7 @@ func parseMode(s string) (constraints.Mode, error) {
 func cmdMHP(args []string) error {
 	fs := flag.NewFlagSet("mhp", flag.ContinueOnError)
 	mode := fs.String("mode", "cs", "analysis mode: cs (context-sensitive) or ci")
+	strategy := fs.String("strategy", "", "solver strategy (default: "+engine.DefaultStrategy+"); unknown names list the registered ones")
 	showPairs := fs.Bool("pairs", true, "print the MHP label pairs")
 	showRaces := fs.Bool("races", false, "print race candidates")
 	withPlaces := fs.Bool("places", false, "apply the same-place refinement (Section 8 extension)")
@@ -229,10 +231,17 @@ func cmdMHP(args []string) error {
 	if err != nil {
 		return err
 	}
-	r, err := mhp.Analyze(p, m)
+	// Resolve the strategy first: a bad name errors out listing the
+	// registered ones.
+	e, err := engine.New(engine.Config{Strategy: *strategy, CacheSize: -1})
 	if err != nil {
 		return err
 	}
+	res, err := e.Analyze(engine.Job{Name: fs.Arg(0), Program: p, Mode: m})
+	if err != nil {
+		return err
+	}
+	r := mhp.FromEngine(res)
 	if *asJSON {
 		return r.WriteJSON(os.Stdout)
 	}

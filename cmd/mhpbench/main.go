@@ -7,11 +7,14 @@
 //
 // Usage:
 //
-//	mhpbench [-figure all|5|6|7|8|9|examples|precision|scaling|corpus|solver] [-parallel N] [-benchjson FILE]
+//	mhpbench [-figure all|5|6|7|8|9|examples|precision|scaling|corpus|solver|incremental] [-parallel N] [-strategy NAME] [-benchjson FILE]
 //
 // The solver figure races all four registered solving strategies on
-// the 13-benchmark corpus; -benchjson additionally writes the sweep
-// machine-readably (the committed BENCH_solver.json).
+// the 13-benchmark corpus; the incremental figure sweeps single-method
+// edits over the corpus and compares incremental re-analysis
+// (engine.AnalyzeDelta) against solving from scratch. -benchjson
+// additionally writes either sweep machine-readably (the committed
+// BENCH_solver.json / BENCH_incremental.json).
 package main
 
 import (
@@ -21,21 +24,29 @@ import (
 	"runtime"
 	"strings"
 
+	"fx10/internal/engine"
 	"fx10/internal/experiments"
 )
 
 func main() {
-	figure := flag.String("figure", "all", "which figure to regenerate: all, 5, 6, 7, 8, 9, examples, scaling, corpus or solver")
+	figure := flag.String("figure", "all", "which figure to regenerate: all, 5, 6, 7, 8, 9, examples, scaling, corpus, solver or incremental")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool width for the corpus sweep")
-	benchjson := flag.String("benchjson", "", "with -figure solver: also write the sweep as JSON to this file")
+	strategy := flag.String("strategy", "", "solver strategy for the incremental figure (default: "+engine.DefaultStrategy+")")
+	benchjson := flag.String("benchjson", "", "with -figure solver or incremental: also write the sweep as JSON to this file")
 	flag.Parse()
-	if err := run(*figure, *parallel, *benchjson); err != nil {
+	if err := run(*figure, *parallel, *strategy, *benchjson); err != nil {
 		fmt.Fprintln(os.Stderr, "mhpbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(figure string, parallel int, benchjson string) error {
+func run(figure string, parallel int, strategy, benchjson string) error {
+	// Fail early on a bad strategy name; the error lists the
+	// registered names.
+	if _, err := engine.Lookup(strategy); err != nil {
+		return err
+	}
+
 	want := map[string]bool{}
 	if figure == "all" {
 		for _, f := range []string{"examples", "5", "6", "7", "8", "9", "corpus"} {
@@ -130,8 +141,22 @@ func run(figure string, parallel int, benchjson string) error {
 			fmt.Printf("wrote %s\n", benchjson)
 		}
 	}
+	if want["incremental"] {
+		section("Incremental analysis: edit-one-method sweep, delta vs scratch")
+		bench, err := experiments.RunIncremental(3, strategy)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatIncremental(bench))
+		if benchjson != "" {
+			if err := experiments.WriteIncrementalJSON(bench, benchjson); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", benchjson)
+		}
+	}
 	if len(want) == 0 {
-		return fmt.Errorf("nothing selected; use -figure all|5|6|7|8|9|examples|precision|scaling|corpus|solver")
+		return fmt.Errorf("nothing selected; use -figure all|5|6|7|8|9|examples|precision|scaling|corpus|solver|incremental")
 	}
 	return nil
 }

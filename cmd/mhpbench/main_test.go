@@ -32,7 +32,7 @@ func captureRunParallel(t *testing.T, figure string, parallel int) (string, erro
 		}
 		done <- sb.String()
 	}()
-	ferr := run(figure, parallel, "")
+	ferr := run(figure, parallel, "", "")
 	w.Close()
 	os.Stdout = old
 	return <-done, ferr
@@ -112,7 +112,7 @@ func TestSolverSection(t *testing.T) {
 	defer func() { os.Stdout = old; devnull.Close() }()
 
 	path := t.TempDir() + "/bench.json"
-	if err := run("solver", 1, path); err != nil {
+	if err := run("solver", 1, "", path); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	data, err := os.ReadFile(path)
@@ -123,6 +123,43 @@ func TestSolverSection(t *testing.T) {
 		if !strings.Contains(string(data), frag) {
 			t.Fatalf("benchjson missing %q:\n%s", frag, data)
 		}
+	}
+}
+
+func TestIncrementalSection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full edit sweep")
+	}
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() { os.Stdout = old; devnull.Close() }()
+
+	path := t.TempDir() + "/bench.json"
+	if err := run("incremental", 1, "worklist", path); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("benchjson not written: %v", err)
+	}
+	for _, frag := range []string{`"strategy": "worklist"`, `"benchmark": "mg"`, `"delta_ns_per_op"`, `"strict_subset_edits"`, `"identical": true`} {
+		if !strings.Contains(string(data), frag) {
+			t.Fatalf("benchjson missing %q:\n%s", frag, data)
+		}
+	}
+}
+
+func TestUnknownStrategy(t *testing.T) {
+	err := run("incremental", 1, "no-such-solver", "")
+	if err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+	if !strings.Contains(err.Error(), "no-such-solver") || !strings.Contains(err.Error(), "phased") {
+		t.Fatalf("error does not name the strategy and the registered names: %v", err)
 	}
 }
 

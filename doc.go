@@ -5,7 +5,12 @@
 // type inference (context-sensitive and context-insensitive), a
 // goroutine-backed runtime, an X10-subset front end with the paper's
 // condensed program form, synthetic reconstructions of the paper's 13
-// benchmarks, and harnesses regenerating Figures 5–9.
+// benchmarks, and harnesses regenerating Figures 5–9. The analysis
+// runs through a unified engine with pluggable solver strategies, a
+// two-tier content-hash cache (whole-program results and
+// cross-program method summaries) and method-granular incremental
+// re-analysis (engine.AnalyzeDelta), all differentially fuzzed
+// against exact and observed parallelism.
 //
 // Start at README.md for the tour, DESIGN.md for the system
 // inventory, and EXPERIMENTS.md for paper-vs-measured results. The

@@ -1,0 +1,177 @@
+package constraints
+
+import (
+	"testing"
+
+	"fx10/internal/labels"
+	"fx10/internal/progen"
+	"fx10/internal/syntax"
+)
+
+// deltaSys generates the system for p in the given mode.
+func deltaSys(p *syntax.Program, mode Mode) *System {
+	return Generate(labels.Compute(p), mode)
+}
+
+// dirtyByHash diffs edited against base by method content hash,
+// returning the dirty method IDs of edited — what engine.AnalyzeDelta
+// feeds SolveDelta.
+func dirtyByHash(base, edited *syntax.Program) []MethodID {
+	prev := map[string]syntax.ProgramHash{}
+	for mi, m := range base.Methods {
+		prev[m.Name] = base.MethodHash(mi)
+	}
+	var dirty []MethodID
+	for mi, m := range edited.Methods {
+		if h, ok := prev[m.Name]; !ok || h != edited.MethodHash(mi) {
+			dirty = append(dirty, mi)
+		}
+	}
+	return dirty
+}
+
+// TestCallGraph checks the call-graph layer on a known shape.
+func TestCallGraph(t *testing.T) {
+	b := syntax.NewBuilder(4)
+	b.MustAddMethod("g", b.Stmts(b.Skip("")))
+	b.MustAddMethod("f", b.Stmts(b.Call("", "g")))
+	b.MustAddMethod("main", b.Stmts(b.Call("", "f"), b.Call("", "g")))
+	p := b.MustProgram()
+	cg := NewCallGraph(p)
+
+	g, _ := p.MethodIndex("g")
+	f, _ := p.MethodIndex("f")
+	main := p.MainIndex
+	if got := cg.Callees(main); len(got) != 2 {
+		t.Fatalf("main callees = %v, want f and g", got)
+	}
+	if got := cg.Callers(g); len(got) != 2 {
+		t.Fatalf("g callers = %v, want f and main", got)
+	}
+	closure := cg.CallerClosure([]MethodID{g})
+	for mi, in := range closure {
+		if !in {
+			t.Errorf("caller closure of g should include every method, missing %d", mi)
+		}
+	}
+	closure = cg.CallerClosure([]MethodID{main})
+	if closure[f] || closure[g] {
+		t.Error("caller closure of main must not include its callees")
+	}
+}
+
+// TestSystemPartition checks that every variable has an owner and the
+// per-method variable lists cover the system exactly once.
+func TestSystemPartition(t *testing.T) {
+	for _, mode := range []Mode{ContextSensitive, ContextInsensitive} {
+		p := progen.Generate(7, progen.Default())
+		sys := deltaSys(p, mode)
+		if sys.Calls == nil {
+			t.Fatal("system has no call graph")
+		}
+		seenSet := 0
+		for mi := range p.Methods {
+			seenSet += len(sys.SetVarsOf(mi))
+			for _, v := range sys.SetVarsOf(mi) {
+				if sys.SetVarOwner[v] != mi {
+					t.Fatalf("%v: set var %d listed under method %d but owned by %d", mode, v, mi, sys.SetVarOwner[v])
+				}
+			}
+		}
+		if seenSet != len(sys.SetVarOwner) {
+			t.Fatalf("%v: per-method set-var lists cover %d of %d vars", mode, seenSet, len(sys.SetVarOwner))
+		}
+		seenPair := 0
+		for mi := range p.Methods {
+			seenPair += len(sys.PairVarsOf(mi))
+		}
+		if seenPair != len(sys.PairVarOwner) {
+			t.Fatalf("%v: per-method pair-var lists cover %d of %d vars", mode, seenPair, len(sys.PairVarOwner))
+		}
+	}
+}
+
+// TestSolveDeltaEquivalence: across a seeded corpus of (program,
+// single-method edit) pairs and both modes, SolveDelta must reproduce
+// the from-scratch solution bit for bit.
+func TestSolveDeltaEquivalence(t *testing.T) {
+	for _, mode := range []Mode{ContextSensitive, ContextInsensitive} {
+		for seed := int64(0); seed < 20; seed++ {
+			p := progen.Generate(seed, progen.Default())
+			prevSol := deltaSys(p, mode).Solve(Options{Worklist: true})
+			for mi := range p.Methods {
+				edited := progen.MutateMethod(p, mi, seed*31+int64(mi))
+				sys := deltaSys(edited, mode)
+				got, info := sys.SolveDelta(prevSol, dirtyByHash(p, edited))
+				want := sys.Solve(Options{Worklist: true})
+				if !got.ValuationEqual(want) {
+					t.Fatalf("%v seed %d method %d: delta valuation differs (full=%v, closure=%v)\n%s",
+						mode, seed, mi, info.Full, info.Closure, syntax.Print(edited))
+				}
+				if info.MethodsReused+info.MethodsResolved != len(edited.Methods) {
+					t.Fatalf("%v seed %d: reused %d + resolved %d != %d methods",
+						mode, seed, info.MethodsReused, info.MethodsResolved, len(edited.Methods))
+				}
+			}
+		}
+	}
+}
+
+// TestSolveDeltaStrictSubset: editing a leaf method of a fan-out
+// program must not re-solve untouched siblings (context-sensitively
+// the closure is the edited method plus its transitive callers).
+func TestSolveDeltaStrictSubset(t *testing.T) {
+	build := func(extra bool) *syntax.Program {
+		b := syntax.NewBuilder(4)
+		b.MustAddMethod("leaf", b.Stmts(b.Async("", b.Stmts(b.Skip("")))))
+		instrs := []syntax.Instr{b.Async("", b.Stmts(b.Skip(""))), b.Skip("")}
+		if extra {
+			instrs = append(instrs, b.Skip(""))
+		}
+		b.MustAddMethod("edited", b.Stmts(instrs...))
+		b.MustAddMethod("main", b.Stmts(
+			b.Finish("", b.Stmts(b.Call("", "leaf"), b.Call("", "edited"))),
+		))
+		return b.MustProgram()
+	}
+	base, edited := build(false), build(true)
+	prevSol := deltaSys(base, ContextSensitive).Solve(Options{Worklist: true})
+	sys := deltaSys(edited, ContextSensitive)
+	got, info := sys.SolveDelta(prevSol, dirtyByHash(base, edited))
+	if info.Full {
+		t.Fatal("delta fell back to a full solve")
+	}
+	leaf, _ := edited.MethodIndex("leaf")
+	for _, mi := range info.Closure {
+		if mi == leaf {
+			t.Fatalf("closure %v includes the untouched leaf method", info.Closure)
+		}
+	}
+	if info.MethodsReused == 0 {
+		t.Fatal("no methods reused")
+	}
+	if !got.ValuationEqual(sys.Solve(Options{Worklist: true})) {
+		t.Fatal("delta valuation differs from scratch")
+	}
+}
+
+// TestSolveDeltaFallbacks: a missing or incompatible previous solution
+// degrades to a full solve, never to a wrong answer.
+func TestSolveDeltaFallbacks(t *testing.T) {
+	p := progen.Generate(3, progen.Default())
+	sys := deltaSys(p, ContextSensitive)
+	sol, info := sys.SolveDelta(nil, nil)
+	if !info.Full {
+		t.Error("nil previous solution should force a full solve")
+	}
+	if !sol.ValuationEqual(sys.Solve(Options{Worklist: true})) {
+		t.Error("fallback solution differs from scratch")
+	}
+
+	// Mode mismatch: a CI solution cannot seed a CS delta.
+	ciSol := deltaSys(p, ContextInsensitive).Solve(Options{Worklist: true})
+	_, info = sys.SolveDelta(ciSol, nil)
+	if !info.Full {
+		t.Error("mode mismatch should force a full solve")
+	}
+}

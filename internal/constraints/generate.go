@@ -71,6 +71,7 @@ func Generate(in *labels.Info, mode Mode) *System {
 		g.l1(s.MethodO[i], nil, s.StmtO[m.Body])
 		s.L2s = append(s.L2s, L2{LHS: s.MethodM[i], Pairs: []PairVar{s.StmtM[m.Body]}})
 	}
+	s.buildPartition()
 	return s
 }
 

@@ -120,6 +120,22 @@ type System struct {
 	// MethodR holds the rᵢ variables; only populated in
 	// ContextInsensitive mode.
 	MethodR []SetVar
+
+	// The method partition: every variable is owned by exactly one
+	// method (a statement variable by its enclosing method, a
+	// summary variable by the method it summarizes), and Calls is
+	// the cross-method dependency layer. Together they let the
+	// delta solver (SolveDelta) restrict re-solving to the dirty
+	// methods' closure. SetVarsOf/PairVarsOf give each method's
+	// variables in ascending index order, which is deterministic in
+	// the method's body structure — the correspondence delta seeding
+	// relies on.
+	SetVarOwner  []MethodID // owner of each SetVar
+	PairVarOwner []MethodID // owner of each PairVar
+	Calls        *CallGraph
+
+	methodSetVars  [][]SetVar
+	methodPairVars [][]PairVar
 }
 
 // Counts returns the constraint counts reported in Figure 6: the
@@ -135,6 +151,46 @@ func (s *System) NumSetVars() int { return len(s.SetVarNames) }
 
 // NumPairVars returns the number of level-2 variables.
 func (s *System) NumPairVars() int { return len(s.PairVarNames) }
+
+// SetVarsOf returns method mi's set variables in ascending variable
+// order (shared slice; do not mutate).
+func (s *System) SetVarsOf(mi MethodID) []SetVar { return s.methodSetVars[mi] }
+
+// PairVarsOf returns method mi's pair variables in ascending variable
+// order (shared slice; do not mutate).
+func (s *System) PairVarsOf(mi MethodID) []PairVar { return s.methodPairVars[mi] }
+
+// buildPartition derives the ownership tables and the call-graph
+// layer after generation: a statement variable belongs to the method
+// whose body contains the statement, a summary variable (oᵢ/mᵢ/rᵢ)
+// to the method it summarizes.
+func (s *System) buildPartition() {
+	p := s.P
+	s.SetVarOwner = make([]MethodID, len(s.SetVarNames))
+	s.PairVarOwner = make([]MethodID, len(s.PairVarNames))
+	for i := range p.Methods {
+		s.SetVarOwner[s.MethodO[i]] = i
+		s.PairVarOwner[s.MethodM[i]] = i
+		if s.MethodR != nil {
+			s.SetVarOwner[s.MethodR[i]] = i
+		}
+	}
+	for st, v := range s.StmtR {
+		mi := p.Labels[st.Instr.Label()].Method
+		s.SetVarOwner[v] = mi
+		s.SetVarOwner[s.StmtO[st]] = mi
+		s.PairVarOwner[s.StmtM[st]] = mi
+	}
+	s.methodSetVars = make([][]SetVar, len(p.Methods))
+	for v, mi := range s.SetVarOwner {
+		s.methodSetVars[mi] = append(s.methodSetVars[mi], SetVar(v))
+	}
+	s.methodPairVars = make([][]PairVar, len(p.Methods))
+	for v, mi := range s.PairVarOwner {
+		s.methodPairVars[mi] = append(s.methodPairVars[mi], PairVar(v))
+	}
+	s.Calls = NewCallGraph(p)
+}
 
 // labelSetString renders a constant label set with display names.
 func (s *System) labelSetString(set *intset.Set) string {

@@ -134,6 +134,10 @@ const (
 	KindObservedNotExact Kind = "observed-not-in-exact"
 	// KindStrategyDivergence: two solver strategies disagree.
 	KindStrategyDivergence Kind = "strategy-divergence"
+	// KindDeltaDivergence: incremental re-analysis (engine.AnalyzeDelta
+	// after a single-method mutation) differs from solving the mutated
+	// program from scratch — a delta-invalidation bug.
+	KindDeltaDivergence Kind = "delta-divergence"
 	// KindProgress: the explorer visited a state violating Theorem 1
 	// (a well-typed non-√ tree with no enabled step).
 	KindProgress Kind = "progress-violation"
@@ -218,6 +222,12 @@ type Config struct {
 	Strategies []string
 	// Static computes the static relation (default EngineStatic()).
 	Static StaticFunc
+	// Incremental enables the incremental oracle: each program is
+	// mutated in one seeded-random method and re-analyzed both
+	// incrementally (engine.AnalyzeDelta) and from scratch under every
+	// strategy and both modes; any valuation difference is a
+	// KindDeltaDivergence violation.
+	Incremental bool
 	// Minimize enables delta-debugging of violating programs.
 	Minimize bool
 	// MinimizeBudget bounds candidate evaluations per minimization
@@ -376,6 +386,12 @@ func checkProgram(cfg Config, p *syntax.Program, seed int64) (stat ProgramStat, 
 	}
 	stat.Static = unordered(static)
 
+	// Incremental oracle: a seeded single-method mutation must
+	// re-analyze to the same valuation incrementally as from scratch.
+	if cfg.Incremental {
+		vs = append(vs, checkIncremental(cfg, p, seed)...)
+	}
+
 	// Exact relation by exhaustive interleaving search.
 	exact := explore.MHP(p, nil, cfg.MaxStates)
 	stat.States = exact.States
@@ -429,6 +445,53 @@ func checkProgram(cfg Config, p *syntax.Program, seed int64) (stat ProgramStat, 
 			p.LabelName(syntax.Label(i)), p.LabelName(syntax.Label(j)))
 	}
 	return stat, vs
+}
+
+// checkIncremental is the incremental oracle: mutate one
+// seeded-random method of p, then assert for every strategy and both
+// analysis modes that engine.AnalyzeDelta over the base result equals
+// a from-scratch analysis of the mutant bit for bit. The mutation is
+// deterministic in (p, seed), so violations replay through the
+// minimizer.
+func checkIncremental(cfg Config, p *syntax.Program, seed int64) (vs []*Violation) {
+	fail := func(kind Kind, format string, args ...any) {
+		vs = append(vs, &Violation{Kind: kind, Seed: seed, Detail: fmt.Sprintf(format, args...), Program: p})
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0x1e7a))
+	mi := rng.Intn(len(p.Methods))
+	edited := progen.MutateMethod(p, mi, rng.Int63())
+	for _, s := range cfg.Strategies {
+		for _, mode := range []constraints.Mode{constraints.ContextSensitive, constraints.ContextInsensitive} {
+			// Cache off: the delta and scratch paths must both solve
+			// for real.
+			e, err := engine.New(engine.Config{Strategy: s, CacheSize: -1})
+			if err != nil {
+				fail(KindError, "incremental oracle (%s): %v", s, err)
+				return vs
+			}
+			base, err := e.Analyze(engine.Job{Name: "difffuzz-base", Program: p, Mode: mode})
+			if err != nil {
+				fail(KindError, "incremental oracle base (%s, %v): %v", s, mode, err)
+				continue
+			}
+			delta, err := e.AnalyzeDelta(base, edited)
+			if err != nil {
+				fail(KindError, "incremental oracle delta (%s, %v): %v", s, mode, err)
+				continue
+			}
+			scratch, err := e.Analyze(engine.Job{Name: "difffuzz-scratch", Program: edited, Mode: mode})
+			if err != nil {
+				fail(KindError, "incremental oracle scratch (%s, %v): %v", s, mode, err)
+				continue
+			}
+			if !delta.Sol.ValuationEqual(scratch.Sol) || !delta.M.Equal(scratch.M) {
+				fail(KindDeltaDivergence,
+					"strategy %q, mode %v: delta re-analysis after mutating method %q differs from scratch (first M diff %s)",
+					s, mode, p.Methods[mi].Name, firstDiff(delta.M, scratch.M))
+			}
+		}
+	}
+	return vs
 }
 
 // normalize reprints and reparses p, so its label numbering matches

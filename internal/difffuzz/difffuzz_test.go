@@ -15,7 +15,7 @@ import (
 // generated programs, observed ⊆ exact ⊆ static holds, all solver
 // strategies agree bitwise, and no progress violations occur.
 func TestSweepClean(t *testing.T) {
-	cfg := Config{Seeds: []int64{1}, N: 60, Runs: 2, MaxStates: 100_000}
+	cfg := Config{Seeds: []int64{1}, N: 60, Runs: 2, MaxStates: 100_000, Incremental: true}
 	if testing.Short() {
 		cfg.N = 15
 	}
@@ -211,6 +211,21 @@ func TestFailureCorpusReplays(t *testing.T) {
 		_, vs := checkProgram(cfg, p, 0)
 		for _, v := range vs {
 			t.Errorf("%s: real engine violates on committed reproducer: %s", name, v)
+		}
+	}
+}
+
+// TestIncrementalOracleFullCalculus runs the incremental oracle on
+// full-calculus programs (loops, recursion-free call chains) where the
+// Finite-config sweep of TestSweepClean cannot reach: every seeded
+// single-method mutation must re-analyze identically under every
+// strategy and both modes.
+func TestIncrementalOracleFullCalculus(t *testing.T) {
+	cfg := Config{Strategies: engine.Strategies()}.withDefaults()
+	for seed := int64(200); seed < 220; seed++ {
+		p := normalize(progen.Generate(seed, progen.Default()))
+		for _, v := range checkIncremental(cfg, p, seed) {
+			t.Errorf("seed %d: %s", seed, v)
 		}
 	}
 }

@@ -13,11 +13,13 @@ import (
 // cacheKey identifies an analysis up to result equality: two requests
 // with the same key are guaranteed the same solution, because the
 // program text determines the constraint system and (Theorem 5) the
-// system determines its least solution. The key hashes the printed
-// program — a canonical, content-addressed form independent of which
-// *syntax.Program pointer the caller holds — plus the mode and the
-// strategy name (strategies agree on valuations but report different
-// metrics, which Stats exposes, so they must not share entries).
+// system determines its least solution. The key is the program's
+// content hash (sha256 of the printed form — canonical and
+// independent of which *syntax.Program pointer the caller holds,
+// memoized on the Program so repeated lookups don't re-walk the AST)
+// plus the mode and the strategy name (strategies agree on valuations
+// but report different metrics, which Stats exposes, so they must not
+// share entries).
 type cacheKey struct {
 	program  [sha256.Size]byte
 	mode     constraints.Mode
@@ -26,7 +28,7 @@ type cacheKey struct {
 
 func keyFor(p *syntax.Program, mode constraints.Mode, strategy string) cacheKey {
 	return cacheKey{
-		program:  sha256.Sum256([]byte(syntax.Print(p))),
+		program:  p.Hash(),
 		mode:     mode,
 		strategy: strategy,
 	}

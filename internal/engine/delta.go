@@ -1,0 +1,144 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"fx10/internal/constraints"
+	"fx10/internal/labels"
+	"fx10/internal/syntax"
+)
+
+// AnalyzeDelta analyzes edited incrementally against base, a result
+// for a previous version of the program (same mode, same engine
+// strategy family of guarantees): methods whose content hash matches
+// their same-named method in the base program keep their solved
+// values (translated to the edited program's labels), and only the
+// dirty closure is re-solved (constraints.SolveDelta). The returned
+// Result is bitwise-identical to Analyze(edited) — Theorems 5–6 give
+// the least solution's uniqueness, and the engine's equivalence tests
+// plus difffuzz's incremental oracle check the implementation — with
+// Stats.Delta reporting what was reused.
+//
+// The program cache still participates: a cache hit for the edited
+// program is served directly (everything reused), and a delta-solved
+// result populates the cache for future requests.
+func (e *Engine) AnalyzeDelta(base *Result, edited *syntax.Program) (*Result, error) {
+	if base == nil || base.Sys == nil || base.Sol == nil || base.Program == nil {
+		return nil, fmt.Errorf("engine: AnalyzeDelta needs a complete base result")
+	}
+	if edited == nil {
+		return nil, fmt.Errorf("engine: AnalyzeDelta needs an edited program")
+	}
+	mode := base.Sys.Mode
+	start := time.Now()
+
+	var key cacheKey
+	if e.cache != nil {
+		key = keyFor(edited, mode, e.strategy.Name())
+	}
+	if c, ok := e.cacheGet(key); ok {
+		stats := c.stats
+		stats.CacheHit = true
+		stats.Delta = &DeltaStats{
+			MethodsTotal:  len(edited.Methods),
+			MethodsReused: len(edited.Methods),
+		}
+		t0 := time.Now()
+		res := &Result{
+			Program: c.core.program,
+			Info:    c.core.info,
+			Sys:     c.core.sys,
+			Sol:     c.core.sol,
+			Env:     c.core.sol.Env(),
+			M:       c.core.sol.MainM(),
+		}
+		stats.Report = time.Since(t0)
+		stats.Total = time.Since(start)
+		res.Stats = stats
+		return res, nil
+	}
+
+	// Diff method content hashes against the base, by name. The hash
+	// covers a method's whole call-graph subtree, so transitive
+	// callers of an edited method are dirty here already; SolveDelta
+	// recomputes the closure anyway for callers that present it with
+	// body-only dirt.
+	baseHash := make(map[string]syntax.ProgramHash, len(base.Program.Methods))
+	for mi, m := range base.Program.Methods {
+		baseHash[m.Name] = base.Program.MethodHash(mi)
+	}
+	var dirty []constraints.MethodID
+	var dirtyNames []string
+	for mi, m := range edited.Methods {
+		if h, ok := baseHash[m.Name]; !ok || h != edited.MethodHash(mi) {
+			dirty = append(dirty, mi)
+			dirtyNames = append(dirtyNames, m.Name)
+		}
+	}
+	sort.Strings(dirtyNames)
+
+	stats := Stats{Strategy: e.strategy.Name()}
+
+	t0 := time.Now()
+	info := labels.Compute(edited)
+	stats.Labels = time.Since(t0)
+
+	t0 = time.Now()
+	sys := constraints.Generate(info, mode)
+	stats.Generate = time.Since(t0)
+
+	t0 = time.Now()
+	sol, dinfo := sys.SolveDelta(base.Sol, dirty)
+	stats.Solve = time.Since(t0)
+
+	stats.IterSlabels = sol.IterSlabels
+	stats.IterL1 = sol.IterL1
+	stats.IterL2 = sol.IterL2
+	stats.Evaluations = sol.Evaluations
+	stats.AllocBytes = sol.AllocBytes
+	stats.FootprintBytes = sol.FootprintBytes
+
+	delta := &DeltaStats{
+		MethodsTotal:           len(edited.Methods),
+		MethodsReused:          dinfo.MethodsReused,
+		MethodsResolved:        dinfo.MethodsResolved,
+		DirtyMethods:           dirtyNames,
+		ConstraintsReevaluated: dinfo.ConstraintsReevaluated,
+		Full:                   dinfo.Full,
+	}
+	// Probe the summary tier for the re-solved methods before storing
+	// this run's summaries: a hit means some already-analyzed program
+	// had a content-identical method (cross-program sharing).
+	if e.summaries != nil && mode == constraints.ContextSensitive {
+		for _, mi := range dinfo.Closure {
+			if e.summaries.contains(edited.MethodHash(mi)) {
+				delta.SummaryHits++
+			} else {
+				delta.SummaryMisses++
+			}
+		}
+	}
+	stats.Delta = delta
+
+	core := pipelineCore{program: edited, info: info, sys: sys, sol: sol}
+	// The delta result is bitwise-identical to a from-scratch solve,
+	// so it can serve future cache lookups for the edited program.
+	e.cachePut(key, cached{core: core, stats: stats})
+	e.storeSummaries(edited, sol, mode)
+
+	t0 = time.Now()
+	res := &Result{
+		Program: core.program,
+		Info:    core.info,
+		Sys:     core.sys,
+		Sol:     core.sol,
+		Env:     core.sol.Env(),
+		M:       core.sol.MainM(),
+	}
+	stats.Report = time.Since(t0)
+	stats.Total = time.Since(start)
+	res.Stats = stats
+	return res, nil
+}

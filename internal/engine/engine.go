@@ -10,9 +10,17 @@
 //     replacing the mutually-exclusive bools of constraints.Options;
 //   - corpus-level analysis on a bounded worker pool with per-program
 //     panic isolation, so one bad program cannot kill a sweep;
-//   - a content-hash-keyed LRU result cache, so repeated analyses of
-//     identical programs (progen sweeps, the Figure 9 mode
-//     comparison) are served without re-solving;
+//   - a two-tier cache: a program tier (content-hash-keyed LRU over
+//     whole solved pipelines, serving repeated analyses of identical
+//     programs) and a method-summary tier (keyed by per-method
+//     content hash, sharing inferred summaries between
+//     content-identical methods of different programs in a corpus —
+//     see summaries.go);
+//   - method-granular incremental analysis: AnalyzeDelta diffs an
+//     edited program against a base result by method content hash
+//     and re-solves only the dirty methods' call-graph closure
+//     (constraints.SolveDelta), reporting what it reused in
+//     DeltaStats;
 //   - per-stage metrics (Stats) for every result.
 //
 // internal/mhp.Analyze, internal/experiments and cmd/mhpbench all run
@@ -44,23 +52,33 @@ type Config struct {
 	// Workers bounds corpus-level concurrency; ≤ 0 selects
 	// GOMAXPROCS.
 	Workers int
-	// CacheSize bounds the result cache in entries. 0 selects the
-	// default (128); negative disables caching entirely (every
-	// request re-solves — what timing-sensitive callers like the
-	// figure tables and benchmarks want).
+	// CacheSize bounds the program-tier result cache in entries. 0
+	// selects the default (128); negative disables caching entirely
+	// — both tiers — (every request re-solves — what
+	// timing-sensitive callers like the figure tables and benchmarks
+	// want).
 	CacheSize int
+	// SummaryCacheSize bounds the method-summary tier in entries. 0
+	// selects the default (512); negative disables just this tier.
+	// The tier is also disabled whenever CacheSize is negative.
+	SummaryCacheSize int
 }
 
-const defaultCacheSize = 128
+const (
+	defaultCacheSize        = 128
+	defaultSummaryCacheSize = 512
+)
 
 // Engine runs analyses. It is safe for concurrent use; one Engine is
-// meant to be shared and reused so its cache pays off.
+// meant to be shared and reused so its caches pay off.
 type Engine struct {
-	strategy Strategy
-	workers  int
-	cache    *resultCache // nil when caching is disabled
+	strategy  Strategy
+	workers   int
+	cache     *resultCache  // program tier; nil when caching is disabled
+	summaries *summaryCache // method-summary tier; nil when disabled
 
-	hits, misses atomic.Uint64
+	hits, misses       atomic.Uint64
+	sumHits, sumMisses atomic.Uint64
 }
 
 // New builds an Engine, resolving the configured strategy name.
@@ -79,6 +97,13 @@ func New(cfg Config) (*Engine, error) {
 		e.cache = newResultCache(defaultCacheSize)
 	case cfg.CacheSize > 0:
 		e.cache = newResultCache(cfg.CacheSize)
+	}
+	if e.cache != nil && cfg.SummaryCacheSize >= 0 {
+		size := cfg.SummaryCacheSize
+		if size == 0 {
+			size = defaultSummaryCacheSize
+		}
+		e.summaries = newSummaryCache(size)
 	}
 	return e, nil
 }
@@ -99,10 +124,15 @@ func (e *Engine) Strategy() Strategy { return e.strategy }
 // Workers returns the engine's corpus concurrency bound.
 func (e *Engine) Workers() int { return e.workers }
 
-// CacheStats returns the engine's cumulative cache traffic (zero when
-// caching is disabled).
+// CacheStats returns the engine's cumulative cache traffic across
+// both tiers (zero when caching is disabled).
 func (e *Engine) CacheStats() CacheStats {
-	return CacheStats{Hits: e.hits.Load(), Misses: e.misses.Load()}
+	return CacheStats{
+		Hits:          e.hits.Load(),
+		Misses:        e.misses.Load(),
+		SummaryHits:   e.sumHits.Load(),
+		SummaryMisses: e.sumMisses.Load(),
+	}
 }
 
 // Job is one analysis request.
@@ -220,6 +250,8 @@ func (e *Engine) runPipeline(p *syntax.Program, mode constraints.Mode) (pipeline
 	stats.Evaluations = sol.Evaluations
 	stats.AllocBytes = sol.AllocBytes
 	stats.FootprintBytes = sol.FootprintBytes
+
+	e.storeSummaries(p, sol, mode)
 	return pipelineCore{program: p, info: info, sys: sys, sol: sol}, stats
 }
 

@@ -35,6 +35,32 @@ type Stats struct {
 	// FootprintBytes estimates the memory retained by the solved
 	// valuation.
 	FootprintBytes int
+
+	// Delta is set only on results produced by AnalyzeDelta.
+	Delta *DeltaStats
+}
+
+// DeltaStats reports what an incremental analysis reused.
+type DeltaStats struct {
+	// MethodsTotal is the edited program's method count;
+	// MethodsReused were seeded from the base result, MethodsResolved
+	// (the dirty closure) were re-solved.
+	MethodsTotal    int
+	MethodsReused   int
+	MethodsResolved int
+	// DirtyMethods names the methods whose content hash differed from
+	// the base (before closure), sorted.
+	DirtyMethods []string
+	// ConstraintsReevaluated counts constraint evaluations performed
+	// by the delta solve.
+	ConstraintsReevaluated int64
+	// Full is true when the delta path fell back to a full re-solve.
+	Full bool
+	// SummaryHits and SummaryMisses count re-solved methods whose
+	// final summary was (respectively was not) already present in the
+	// engine's method-summary cache tier — cross-program sharing at
+	// work. Zero when the tier is disabled.
+	SummaryHits, SummaryMisses int
 }
 
 // PipelineDuration is the analysis-only time (labels + generation +
@@ -44,7 +70,10 @@ func (s Stats) PipelineDuration() time.Duration {
 	return s.Labels + s.Generate + s.Solve
 }
 
-// CacheStats aggregates an engine's cache traffic.
+// CacheStats aggregates an engine's cache traffic: the program tier
+// (Hits/Misses) and the method-summary tier (SummaryHits/
+// SummaryMisses).
 type CacheStats struct {
-	Hits, Misses uint64
+	Hits, Misses               uint64
+	SummaryHits, SummaryMisses uint64
 }

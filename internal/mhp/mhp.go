@@ -58,6 +58,32 @@ func MustAnalyze(p *syntax.Program, mode constraints.Mode) *Result {
 	return r
 }
 
+// AnalyzeDelta re-analyzes edited incrementally against base: methods
+// whose content hash is unchanged keep their solved values and only
+// the dirty call-graph closure is re-solved. The returned Result is
+// identical to Analyze(edited, mode) — the least solution is unique —
+// and the DeltaStats reports what was reused. The mode is taken from
+// the base result's system.
+func AnalyzeDelta(base *Result, edited *syntax.Program) (*Result, engine.DeltaStats, error) {
+	eres := &engine.Result{
+		Program: base.Program,
+		Info:    base.Info,
+		Sys:     base.Sys,
+		Sol:     base.Sol,
+		Env:     base.Env,
+		M:       base.M,
+	}
+	res, err := analyzeEngine.AnalyzeDelta(eres, edited)
+	if err != nil {
+		return nil, engine.DeltaStats{}, err
+	}
+	var ds engine.DeltaStats
+	if res.Stats.Delta != nil {
+		ds = *res.Stats.Delta
+	}
+	return FromEngine(res), ds, nil
+}
+
 // FromEngine adapts an engine result to the mhp report API.
 func FromEngine(res *engine.Result) *Result {
 	return &Result{

@@ -1,0 +1,146 @@
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fx10/internal/syntax"
+)
+
+// This file provides single-method program edits for the incremental
+// analysis: Clone rebuilds a program unchanged, AppendSkip makes the
+// smallest possible edit to one method, and MutateMethod applies a
+// seeded random edit. All three leave every other method structurally
+// identical (same instruction kinds, operands and label display
+// names), which is what engine.AnalyzeDelta keys on — the rebuilt
+// program has fresh label indices, but method content hashes are
+// index-invariant by design.
+
+// rebuild reconstructs p with a fresh builder, letting edit produce
+// the top-level instruction list of method mi (edit nil clones every
+// method unchanged). The edit callback is responsible for cloning —
+// instructions it leaves out are never allocated on the builder.
+func rebuild(p *syntax.Program, mi int, edit func(b *syntax.Builder, nm *namer, body *syntax.Stmt) []syntax.Instr) *syntax.Program {
+	b := syntax.NewBuilder(p.ArrayLen)
+	nm := newNamer(p)
+	for i, m := range p.Methods {
+		var instrs []syntax.Instr
+		if i == mi && edit != nil {
+			instrs = edit(b, nm, m.Body)
+		} else {
+			instrs = cloneList(b, p, m.Body, -1)
+		}
+		b.MustAddMethod(m.Name, b.Stmts(instrs...))
+	}
+	return b.MustProgram()
+}
+
+// Clone rebuilds p from scratch: a structurally identical program with
+// fresh label indices. Useful for testing index-invariance of content
+// hashes.
+func Clone(p *syntax.Program) *syntax.Program {
+	return rebuild(p, -1, nil)
+}
+
+// AppendSkip returns a copy of p whose method mi has one skip appended
+// to its top-level sequence — the minimal single-method edit.
+func AppendSkip(p *syntax.Program, mi int) *syntax.Program {
+	return rebuild(p, mi, func(b *syntax.Builder, nm *namer, body *syntax.Stmt) []syntax.Instr {
+		return append(cloneList(b, p, body, -1), b.Skip(nm.fresh()))
+	})
+}
+
+// MutateMethod returns a copy of p with one seeded random edit applied
+// to method mi: append a skip, prepend an assignment, wrap the body in
+// finish or async, or drop the last top-level instruction. The result
+// is always a valid program; generation is deterministic in the seed.
+func MutateMethod(p *syntax.Program, mi int, seed int64) *syntax.Program {
+	rng := rand.New(rand.NewSource(seed))
+	return rebuild(p, mi, func(b *syntax.Builder, nm *namer, body *syntax.Stmt) []syntax.Instr {
+		switch rng.Intn(5) {
+		case 0:
+			return append(cloneList(b, p, body, -1), b.Skip(nm.fresh()))
+		case 1:
+			idx := 0
+			if p.ArrayLen > 1 {
+				idx = rng.Intn(p.ArrayLen)
+			}
+			first := b.Assign(nm.fresh(), idx, syntax.Const{C: 0})
+			return append([]syntax.Instr{first}, cloneList(b, p, body, -1)...)
+		case 2:
+			return []syntax.Instr{b.Finish(nm.fresh(), b.Stmts(cloneList(b, p, body, -1)...))}
+		case 3:
+			return []syntax.Instr{b.Async(nm.fresh(), b.Stmts(cloneList(b, p, body, -1)...))}
+		default:
+			n := 0
+			for cur := body; cur != nil; cur = cur.Next {
+				n++
+			}
+			if n > 1 {
+				return cloneList(b, p, body, n-1)
+			}
+			return append(cloneList(b, p, body, -1), b.Skip(nm.fresh()))
+		}
+	})
+}
+
+// cloneList re-creates the first limit instructions of s (recursively;
+// limit < 0 clones the whole sequence) on b, preserving label display
+// names, operands and nesting.
+func cloneList(b *syntax.Builder, p *syntax.Program, s *syntax.Stmt, limit int) []syntax.Instr {
+	var instrs []syntax.Instr
+	for cur := s; cur != nil && (limit < 0 || len(instrs) < limit); cur = cur.Next {
+		name := p.Labels[cur.Instr.Label()].Name
+		switch i := cur.Instr.(type) {
+		case *syntax.Skip:
+			instrs = append(instrs, b.Skip(name))
+		case *syntax.Next:
+			instrs = append(instrs, b.Next(name))
+		case *syntax.Assign:
+			instrs = append(instrs, b.Assign(name, i.D, i.Rhs))
+		case *syntax.While:
+			body := b.Stmts(cloneList(b, p, i.Body, -1)...)
+			instrs = append(instrs, b.While(name, i.D, body))
+		case *syntax.Async:
+			body := b.Stmts(cloneList(b, p, i.Body, -1)...)
+			a := b.Async(name, body).(*syntax.Async)
+			a.Place = i.Place
+			a.Clocked = i.Clocked
+			instrs = append(instrs, a)
+		case *syntax.Finish:
+			body := b.Stmts(cloneList(b, p, i.Body, -1)...)
+			instrs = append(instrs, b.Finish(name, body))
+		case *syntax.Call:
+			instrs = append(instrs, b.Call(name, i.Name))
+		default:
+			panic(fmt.Sprintf("progen: unknown instruction %T", cur.Instr))
+		}
+	}
+	return instrs
+}
+
+// namer hands out label display names not used anywhere in the source
+// program (Validate requires globally unique names).
+type namer struct {
+	used map[string]bool
+	n    int
+}
+
+func newNamer(p *syntax.Program) *namer {
+	nm := &namer{used: make(map[string]bool, len(p.Labels))}
+	for _, li := range p.Labels {
+		nm.used[li.Name] = true
+	}
+	return nm
+}
+
+func (nm *namer) fresh() string {
+	for {
+		name := fmt.Sprintf("e%d", nm.n)
+		nm.n++
+		if !nm.used[name] {
+			nm.used[name] = true
+			return name
+		}
+	}
+}

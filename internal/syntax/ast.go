@@ -277,6 +277,11 @@ type Program struct {
 	Labels []LabelInfo
 
 	byName map[string]int
+
+	// hashes memoizes the program and per-method content hashes (see
+	// hash.go). Programs are immutable once validated, so the lazy
+	// computation is safe under concurrent readers.
+	hashes hashMemo
 }
 
 // NumLabels returns the number of labels in the program.
