@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: verify build vet test race bench benchsmoke profile figures solverbench incrementalbench fuzz fuzz-smoke
+.PHONY: verify build vet test race bench benchsmoke profile figures solverbench incrementalbench serverbench serversmoke fuzz fuzz-smoke
 
 verify: build vet race
 
@@ -43,6 +43,20 @@ solverbench:
 # (incremental re-analysis vs from scratch).
 incrementalbench:
 	$(GO) run ./cmd/mhpbench -figure incremental -benchjson BENCH_incremental.json
+
+# serverbench regenerates the committed analysis-service load report:
+# a mixed query/analyze/delta run plus a cached-/v1/query-only run,
+# both in-process (no TCP listener flakiness), seeded.
+serverbench:
+	printf '{"mixed": %s, "cachedQuery": %s}\n' \
+		"$$($(GO) run ./cmd/fx10d loadgen -c 8 -duration 10s -mix query=8,analyze=3,delta=1 -json)" \
+		"$$($(GO) run ./cmd/fx10d loadgen -c 16 -duration 10s -mix query=1 -json)" \
+		> BENCH_server.json
+
+# serversmoke starts a real fx10d, hammers it for 15s over TCP, and
+# fails on transport errors or any status outside 2xx/429.
+serversmoke:
+	./scripts/server_smoke.sh
 
 figures:
 	$(GO) run ./cmd/mhpbench -figure all

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fx10/internal/engine"
+	"fx10/internal/parser"
+)
+
+func TestExitCodeClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"nil-ish generic", fmt.Errorf("boom"), 1},
+		{"parse", &parser.Error{Line: 3, Col: 7, Msg: "expected ';'"}, 2},
+		{"wrapped parse", fmt.Errorf("loading: %w", &parser.Error{Line: 1, Col: 1, Msg: "x"}), 2},
+		{"analysis", &engine.AnalysisError{Name: "p", Value: "kaboom"}, 3},
+		{"wrapped analysis", fmt.Errorf("corpus: %w", &engine.AnalysisError{Name: "p", Value: "kaboom"}), 3},
+	}
+	for _, tc := range cases {
+		if got := exitCode(tc.err); got != tc.want {
+			t.Errorf("%s: exitCode = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestMHPParseErrorExitCode drives the real mhp subcommand at a file
+// that does not parse and checks the error classifies as exit 2.
+func TestMHPParseErrorExitCode(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "bad.fx10")
+	if err := os.WriteFile(bad, []byte("array 2;\nvoid main() { async }"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"mhp", bad})
+	if err == nil {
+		t.Fatal("mhp accepted a malformed program")
+	}
+	if got := exitCode(err); got != 2 {
+		t.Errorf("parse failure maps to exit %d, want 2 (err: %v)", got, err)
+	}
+}

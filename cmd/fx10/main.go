@@ -23,6 +23,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -47,8 +49,23 @@ import (
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "fx10:", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
+}
+
+// exitCode distinguishes failure classes for scripting: 2 means the
+// input did not parse, 3 means the analysis itself failed on input
+// that parsed, 1 is everything else.
+func exitCode(err error) int {
+	var pe *parser.Error
+	var ae *engine.AnalysisError
+	switch {
+	case errors.As(err, &pe):
+		return 2
+	case errors.As(err, &ae):
+		return 3
+	}
+	return 1
 }
 
 func run(args []string) error {
@@ -237,7 +254,7 @@ func cmdMHP(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := e.Analyze(engine.Job{Name: fs.Arg(0), Program: p, Mode: m})
+	res, err := e.AnalyzeSafe(context.Background(), engine.Job{Name: fs.Arg(0), Program: p, Mode: m})
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,28 @@
+package main
+
+import (
+	"fmt"
+	"testing"
+
+	"fx10/internal/engine"
+	"fx10/internal/parser"
+)
+
+func TestExitCodeClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"generic", fmt.Errorf("boom"), 1},
+		{"parse", &parser.Error{Line: 2, Col: 1, Msg: "expected '}'"}, 2},
+		{"wrapped parse", fmt.Errorf("figure 6: %w", &parser.Error{Line: 1, Col: 1, Msg: "x"}), 2},
+		{"analysis", &engine.AnalysisError{Name: "mg", Value: "kaboom"}, 3},
+		{"wrapped analysis", fmt.Errorf("sweep: %w", &engine.AnalysisError{Name: "mg", Value: "kaboom"}), 3},
+	}
+	for _, tc := range cases {
+		if got := exitCode(tc.err); got != tc.want {
+			t.Errorf("%s: exitCode = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}

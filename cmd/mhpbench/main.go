@@ -18,6 +18,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +27,7 @@ import (
 
 	"fx10/internal/engine"
 	"fx10/internal/experiments"
+	"fx10/internal/parser"
 )
 
 func main() {
@@ -36,8 +38,23 @@ func main() {
 	flag.Parse()
 	if err := run(*figure, *parallel, *strategy, *benchjson); err != nil {
 		fmt.Fprintln(os.Stderr, "mhpbench:", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
+}
+
+// exitCode mirrors cmd/fx10: 2 for parse failures, 3 for analysis
+// failures, 1 otherwise — so CI can tell a broken corpus program from
+// a broken analysis.
+func exitCode(err error) int {
+	var pe *parser.Error
+	var ae *engine.AnalysisError
+	switch {
+	case errors.As(err, &pe):
+		return 2
+	case errors.As(err, &ae):
+		return 3
+	}
+	return 1
 }
 
 func run(figure string, parallel int, strategy, benchjson string) error {

@@ -1,0 +1,110 @@
+package constraints
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"fx10/internal/labels"
+	"fx10/internal/parser"
+)
+
+const cancelSrc = `
+array 4;
+void main() {
+  finish {
+    async { f(); }
+    l1: a[0] = 1;
+    f();
+  }
+}
+void f() {
+  finish {
+    async { l2: a[1] = a[2] + 1; }
+    g();
+  }
+}
+void g() {
+  while (a[3] != 0) { async { l3: a[2] = 0; } }
+}
+`
+
+func cancelSystem(t *testing.T, mode Mode) *System {
+	t.Helper()
+	p, err := parser.Parse(cancelSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Generate(labels.Compute(p), mode)
+}
+
+// SolveCtx with a live context must agree exactly with Solve, for
+// every strategy.
+func TestSolveCtxMatchesSolve(t *testing.T) {
+	for _, mode := range []Mode{ContextSensitive, ContextInsensitive} {
+		sys := cancelSystem(t, mode)
+		for _, opts := range []Options{{}, {Monolithic: true}, {Worklist: true}, {Topo: true}} {
+			want := sys.Solve(opts)
+			got, err := sys.SolveCtx(context.Background(), opts)
+			if err != nil {
+				t.Fatalf("%v %+v: unexpected error %v", mode, opts, err)
+			}
+			if !got.MainM().Equal(want.MainM()) {
+				t.Errorf("%v %+v: SolveCtx diverges from Solve", mode, opts)
+			}
+		}
+	}
+}
+
+// A context cancelled before the call returns immediately with its
+// error and no solution.
+func TestSolveCtxPreCancelled(t *testing.T) {
+	sys := cancelSystem(t, ContextSensitive)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, opts := range []Options{{}, {Monolithic: true}, {Worklist: true}, {Topo: true}} {
+		sol, err := sys.SolveCtx(ctx, opts)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%+v: want context.Canceled, got %v", opts, err)
+		}
+		if sol != nil {
+			t.Fatalf("%+v: got partial solution on cancellation", opts)
+		}
+	}
+}
+
+// A deadline that expires mid-solve aborts the solve promptly. The
+// workload solves in well under a millisecond, so the deadline is set
+// in the past to force every stride poll to observe expiry.
+func TestSolveCtxExpiredDeadline(t *testing.T) {
+	sys := cancelSystem(t, ContextSensitive)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := sys.SolveCtx(ctx, Options{Worklist: true}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v", err)
+	}
+}
+
+// SolveDeltaCtx: live context matches SolveDelta; cancelled context
+// returns the context error.
+func TestSolveDeltaCtx(t *testing.T) {
+	sys := cancelSystem(t, ContextSensitive)
+	prev := sys.Solve(Options{})
+
+	got, info, err := sys.SolveDeltaCtx(context.Background(), prev, []MethodID{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, winfo := sys.SolveDelta(prev, []MethodID{0})
+	if !got.MainM().Equal(want.MainM()) || info.MethodsResolved != winfo.MethodsResolved {
+		t.Fatal("SolveDeltaCtx diverges from SolveDelta")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sol, _, err := sys.SolveDeltaCtx(ctx, prev, []MethodID{0})
+	if !errors.Is(err, context.Canceled) || sol != nil {
+		t.Fatalf("want (nil, context.Canceled), got (%v, %v)", sol, err)
+	}
+}

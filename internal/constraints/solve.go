@@ -1,6 +1,7 @@
 package constraints
 
 import (
+	"context"
 	"runtime"
 	"time"
 
@@ -80,6 +81,10 @@ type Solution struct {
 	// two levels; it is released before Solve returns.
 	scratch solverScratch
 
+	// cancel is the cooperative-cancellation state (see cancel.go);
+	// zero when the solve is not cancellable.
+	cancel cancelState
+
 	// Duration is the wall time of Solve (constraint solving only;
 	// see internal/experiments for end-to-end pipeline timing).
 	Duration time.Duration
@@ -99,6 +104,12 @@ type Solution struct {
 // least fixpoint exists; we reach it by accumulating iteration from
 // the bottom valuation).
 func (s *System) Solve(opts Options) *Solution {
+	return s.solve(context.Background(), opts)
+}
+
+// solve is the shared core of Solve and SolveCtx. It unwinds with a
+// canceledPanic when ctx is cancelled mid-solve (see cancel.go).
+func (s *System) solve(ctx context.Context, opts Options) *Solution {
 	opts = opts.Normalize()
 	var ms0, ms1 runtime.MemStats
 	runtime.ReadMemStats(&ms0)
@@ -111,6 +122,7 @@ func (s *System) Solve(opts Options) *Solution {
 		pairVals:    make([]pairBag, len(s.PairVarNames)),
 		IterSlabels: s.Info.Iterations,
 	}
+	sol.cancel.arm(ctx)
 	// The topo solver allocates its own valuation (one slab for all
 	// set variables, aliased pair bags); the iterative solvers start
 	// from an explicit bottom valuation.
@@ -157,6 +169,7 @@ func (sol *Solution) l1Pass() bool {
 	s := sol.sys
 	changed := false
 	for _, c := range s.L1s {
+		sol.checkCancel()
 		lhs := sol.setVals[c.LHS]
 		if c.Const != nil && lhs.UnionWith(c.Const) {
 			changed = true
@@ -168,6 +181,7 @@ func (sol *Solution) l1Pass() bool {
 		}
 	}
 	for _, c := range s.Subsets {
+		sol.checkCancel()
 		if sol.setVals[c.Sup].UnionWith(sol.setVals[c.Sub]) {
 			changed = true
 		}
@@ -191,6 +205,7 @@ func (sol *Solution) l2Pass(evalCrosses bool) bool {
 	s := sol.sys
 	changed := false
 	for _, c := range s.L2s {
+		sol.checkCancel()
 		lhs := sol.pairVals[c.LHS]
 		if evalCrosses {
 			for _, ct := range c.Crosses {
@@ -213,6 +228,7 @@ func (sol *Solution) solveL2() {
 	// is a constant pair set; fold them in once, then iterate pure
 	// m-variable unions.
 	for _, c := range sol.sys.L2s {
+		sol.checkCancel()
 		lhs := sol.pairVals[c.LHS]
 		for _, ct := range c.Crosses {
 			lhs.crossSym(ct.Const, sol.setVals[ct.Var])

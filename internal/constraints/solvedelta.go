@@ -1,6 +1,7 @@
 package constraints
 
 import (
+	"context"
 	"runtime"
 	"time"
 
@@ -66,8 +67,14 @@ type DeltaInfo struct {
 // (callers of dirty methods need not be listed; the closure adds
 // them). The returned solution is bitwise-identical to s.Solve.
 func (s *System) SolveDelta(prev *Solution, dirty []MethodID) (*Solution, DeltaInfo) {
+	return s.solveDelta(context.Background(), prev, dirty)
+}
+
+// solveDelta is the shared core of SolveDelta and SolveDeltaCtx. It
+// unwinds with a canceledPanic when ctx is cancelled mid-solve.
+func (s *System) solveDelta(ctx context.Context, prev *Solution, dirty []MethodID) (*Solution, DeltaInfo) {
 	if prev == nil || prev.sys == nil || prev.sys.Mode != s.Mode || prev.sys.Calls == nil {
-		return s.fullFallback()
+		return s.fullFallback(ctx)
 	}
 	prevSys := prev.sys
 	prevP := prevSys.P
@@ -179,6 +186,7 @@ func (s *System) SolveDelta(prev *Solution, dirty []MethodID) (*Solution, DeltaI
 		pairVals:    make([]pairBag, len(s.PairVarNames)),
 		IterSlabels: s.Info.Iterations,
 	}
+	sol.cancel.arm(ctx)
 
 	// Seed: closure variables restart from bottom (the batch sets are
 	// born empty; pair bags are presized from the previous solve, a
@@ -230,13 +238,13 @@ func (s *System) SolveDelta(prev *Solution, dirty []MethodID) (*Solution, DeltaI
 			dst := sol.setVals[v]
 			dst.Clear()
 			if !remapSetInto(dst, prev.setVals[prevSet[k]], remap) {
-				return s.fullFallback()
+				return s.fullFallback(ctx)
 			}
 		}
 		for k, v := range s.PairVarsOf(mi) {
 			dst := make(pairBag, len(prev.pairVals[prevPair[k]]))
 			if !remapBagInto(dst, prev.pairVals[prevPair[k]], remap) {
-				return s.fullFallback()
+				return s.fullFallback(ctx)
 			}
 			sol.pairVals[v] = dst
 		}
@@ -267,8 +275,8 @@ func (s *System) SolveDelta(prev *Solution, dirty []MethodID) (*Solution, DeltaI
 }
 
 // fullFallback solves from scratch and reports it.
-func (s *System) fullFallback() (*Solution, DeltaInfo) {
-	sol := s.Solve(Options{Worklist: true})
+func (s *System) fullFallback(ctx context.Context) (*Solution, DeltaInfo) {
+	sol := s.solve(ctx, Options{Worklist: true})
 	info := DeltaInfo{
 		Full:                   true,
 		MethodsResolved:        len(s.P.Methods),
@@ -483,6 +491,7 @@ func (sol *Solution) solveL1Restricted(inClosure []bool) {
 		pos := queue.pop()
 		inQueue[pos] = false
 		sol.Evaluations++
+		sol.checkCancel()
 
 		ci := active[pos]
 		var lhs SetVar
@@ -550,6 +559,7 @@ func (sol *Solution) solveL2Restricted(inClosure []bool) {
 		pos := queue.pop()
 		inQueue[pos] = false
 		sol.Evaluations++
+		sol.checkCancel()
 
 		c := s.L2s[active[pos]]
 		lhs := sol.pairVals[c.LHS]

@@ -218,6 +218,7 @@ func (sol *Solution) solveTopoL1() {
 		for _, m := range ms {
 			if ci := lhsL1[m]; ci >= 0 {
 				sol.Evaluations++
+				sol.checkCancel()
 				c := &s.L1s[ci]
 				if c.Const != nil {
 					val.UnionWith(c.Const)
@@ -230,6 +231,7 @@ func (sol *Solution) solveTopoL1() {
 			}
 			for _, src := range subSrc.edges[subSrc.off[m]:subSrc.off[m+1]] {
 				sol.Evaluations++
+				sol.checkCancel()
 				if comp[src] != cid {
 					val.UnionWith(vals[comp[src]])
 				}
@@ -365,6 +367,7 @@ func (sol *Solution) solveTopoL2() {
 				continue
 			}
 			sol.Evaluations++
+			sol.checkCancel()
 			c := &s.L2s[ci]
 			for _, ct := range c.Crosses {
 				bag.crossSym(ct.Const, sol.setVals[ct.Var])

@@ -108,6 +108,7 @@ func (sol *Solution) solveL1Worklist() {
 		ci := queue.pop()
 		inQueue[ci] = false
 		sol.Evaluations++
+		sol.checkCancel()
 
 		var lhs SetVar
 		changed := false
@@ -157,6 +158,7 @@ func (sol *Solution) solveL2Worklist() {
 	// Fold the constant cross terms and seed the queue with every
 	// constraint, so pure-union chains fire.
 	for ci, c := range s.L2s {
+		sol.checkCancel()
 		lhs := sol.pairVals[c.LHS]
 		for _, ct := range c.Crosses {
 			lhs.crossSym(ct.Const, sol.setVals[ct.Var])
@@ -169,6 +171,7 @@ func (sol *Solution) solveL2Worklist() {
 		ci := queue.pop()
 		inQueue[ci] = false
 		sol.Evaluations++
+		sol.checkCancel()
 
 		c := s.L2s[ci]
 		lhs := sol.pairVals[c.LHS]

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -25,6 +26,13 @@ import (
 // program is served directly (everything reused), and a delta-solved
 // result populates the cache for future requests.
 func (e *Engine) AnalyzeDelta(base *Result, edited *syntax.Program) (*Result, error) {
+	return e.AnalyzeDeltaCtx(context.Background(), base, edited)
+}
+
+// AnalyzeDeltaCtx is AnalyzeDelta with cooperative cancellation (the
+// same contract as AnalyzeCtx: cancellation caches nothing and
+// returns ctx's error).
+func (e *Engine) AnalyzeDeltaCtx(ctx context.Context, base *Result, edited *syntax.Program) (*Result, error) {
 	if base == nil || base.Sys == nil || base.Sol == nil || base.Program == nil {
 		return nil, fmt.Errorf("engine: AnalyzeDelta needs a complete base result")
 	}
@@ -85,12 +93,19 @@ func (e *Engine) AnalyzeDelta(base *Result, edited *syntax.Program) (*Result, er
 	info := labels.Compute(edited)
 	stats.Labels = time.Since(t0)
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
 	t0 = time.Now()
 	sys := constraints.Generate(info, mode)
 	stats.Generate = time.Since(t0)
 
 	t0 = time.Now()
-	sol, dinfo := sys.SolveDelta(base.Sol, dirty)
+	sol, dinfo, err := sys.SolveDeltaCtx(ctx, base.Sol, dirty)
+	if err != nil {
+		return nil, err
+	}
 	stats.Solve = time.Since(t0)
 
 	stats.IterSlabels = sol.IterSlabels
@@ -141,4 +156,16 @@ func (e *Engine) AnalyzeDelta(base *Result, edited *syntax.Program) (*Result, er
 	stats.Total = time.Since(start)
 	res.Stats = stats
 	return res, nil
+}
+
+// AnalyzeDeltaSafe is AnalyzeDeltaCtx behind a recover barrier,
+// converting pipeline panics into *AnalysisError — the delta
+// counterpart of AnalyzeSafe.
+func (e *Engine) AnalyzeDeltaSafe(ctx context.Context, base *Result, edited *syntax.Program) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, &AnalysisError{Name: "<delta>", Value: r}
+		}
+	}()
+	return e.AnalyzeDeltaCtx(ctx, base, edited)
 }

@@ -29,6 +29,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -182,6 +183,16 @@ type Result struct {
 // Analyze runs the pipeline for one job: cache lookup, then the
 // missing stages, then report extraction.
 func (e *Engine) Analyze(job Job) (*Result, error) {
+	return e.AnalyzeCtx(context.Background(), job)
+}
+
+// AnalyzeCtx is Analyze with cooperative cancellation: ctx is checked
+// between pipeline stages and, with the built-in strategies, every
+// constraints.CancelStride evaluations inside the solver loops. On
+// cancellation it returns ctx's error, caches nothing, and leaves
+// both cache tiers exactly as they were — an abandoned request can
+// never poison a future one.
+func (e *Engine) AnalyzeCtx(ctx context.Context, job Job) (*Result, error) {
 	start := time.Now()
 
 	p := job.Program
@@ -208,7 +219,11 @@ func (e *Engine) Analyze(job Job) (*Result, error) {
 		core, stats = c.core, c.stats
 		stats.CacheHit = true
 	} else {
-		core, stats = e.runPipeline(p, job.Mode)
+		var err error
+		core, stats, err = e.runPipeline(ctx, p, job.Mode)
+		if err != nil {
+			return nil, err
+		}
 		e.cachePut(key, cached{core: core, stats: stats})
 	}
 
@@ -229,19 +244,26 @@ func (e *Engine) Analyze(job Job) (*Result, error) {
 }
 
 // runPipeline executes the expensive stages on a cache miss.
-func (e *Engine) runPipeline(p *syntax.Program, mode constraints.Mode) (pipelineCore, Stats) {
+func (e *Engine) runPipeline(ctx context.Context, p *syntax.Program, mode constraints.Mode) (pipelineCore, Stats, error) {
 	stats := Stats{Strategy: e.strategy.Name()}
 
 	t0 := time.Now()
 	info := labels.Compute(p)
 	stats.Labels = time.Since(t0)
 
+	if err := ctx.Err(); err != nil {
+		return pipelineCore{}, Stats{}, err
+	}
+
 	t0 = time.Now()
 	sys := constraints.Generate(info, mode)
 	stats.Generate = time.Since(t0)
 
 	t0 = time.Now()
-	sol := e.strategy.Solve(sys)
+	sol, err := solveWith(ctx, e.strategy, sys)
+	if err != nil {
+		return pipelineCore{}, Stats{}, err
+	}
 	stats.Solve = time.Since(t0)
 
 	stats.IterSlabels = sol.IterSlabels
@@ -252,7 +274,7 @@ func (e *Engine) runPipeline(p *syntax.Program, mode constraints.Mode) (pipeline
 	stats.FootprintBytes = sol.FootprintBytes
 
 	e.storeSummaries(p, sol, mode)
-	return pipelineCore{program: p, info: info, sys: sys, sol: sol}, stats
+	return pipelineCore{program: p, info: info, sys: sys, sol: sol}, stats, nil
 }
 
 func (e *Engine) cacheGet(key cacheKey) (cached, bool) {
@@ -328,12 +350,44 @@ func (e *Engine) AnalyzeCorpus(jobs []Job) []CorpusResult {
 // analyzeIsolated is Analyze behind a recover barrier.
 func (e *Engine) analyzeIsolated(job Job) (cr CorpusResult) {
 	cr.Job = job
+	cr.Result, cr.Err = e.AnalyzeSafe(context.Background(), job)
+	return cr
+}
+
+// AnalysisError reports a failure of the analysis itself — a panic
+// tripped deep in the pipeline by a malformed program, as opposed to
+// a parse error (which unwraps to *parser.Error) or a cancellation
+// (which unwraps to the context error). Callers use it to map
+// failures onto distinct exit codes and HTTP statuses.
+type AnalysisError struct {
+	// Name is the job name the failure is attributed to.
+	Name string
+	// Value is the recovered panic value, or the wrapped error.
+	Value any
+}
+
+func (e *AnalysisError) Error() string {
+	return fmt.Sprintf("engine: panic analyzing %s: %v", e.Name, e.Value)
+}
+
+// Unwrap exposes a wrapped error value to errors.Is/As.
+func (e *AnalysisError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// AnalyzeSafe is AnalyzeCtx behind a recover barrier: a panic in the
+// pipeline (a malformed program tripping an invariant) comes back as
+// an *AnalysisError instead of unwinding the caller — what a
+// long-lived server or a corpus sweep needs. Parse and context errors
+// pass through unchanged.
+func (e *Engine) AnalyzeSafe(ctx context.Context, job Job) (res *Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			cr.Result = nil
-			cr.Err = fmt.Errorf("engine: panic analyzing %s: %v", jobName(job), r)
+			res, err = nil, &AnalysisError{Name: jobName(job), Value: r}
 		}
 	}()
-	cr.Result, cr.Err = e.Analyze(job)
-	return cr
+	return e.AnalyzeCtx(ctx, job)
 }

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -21,6 +22,40 @@ type Strategy interface {
 	Solve(sys *constraints.System) *constraints.Solution
 }
 
+// ContextStrategy is a Strategy that supports cooperative
+// cancellation. The engine prefers SolveContext whenever the request
+// context can actually be cancelled; strategies without it still work
+// but run to completion once started. All four built-in strategies
+// implement it (the constraints solvers poll the context every
+// constraints.CancelStride evaluations).
+type ContextStrategy interface {
+	Strategy
+	// SolveContext computes the least solution of sys, aborting with
+	// ctx.Err() if ctx is cancelled mid-solve. A partial solution is
+	// never returned.
+	SolveContext(ctx context.Context, sys *constraints.System) (*constraints.Solution, error)
+}
+
+// solveWith runs strat on sys honouring ctx where the strategy can:
+// a cancellable context routes through SolveContext; a strategy
+// without one is bracketed by upfront and after-the-fact polls.
+func solveWith(ctx context.Context, strat Strategy, sys *constraints.System) (*constraints.Solution, error) {
+	if ctx.Done() == nil {
+		return strat.Solve(sys), nil
+	}
+	if cs, ok := strat.(ContextStrategy); ok {
+		return cs.SolveContext(ctx, sys)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	sol := strat.Solve(sys)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return sol, nil
+}
+
 // DefaultStrategy is the strategy an Engine uses when its Config
 // names none: the paper's three-phase solver (Section 5.3).
 const DefaultStrategy = "phased"
@@ -38,6 +73,10 @@ func (s optionsStrategy) Name() string { return s.name }
 
 func (s optionsStrategy) Solve(sys *constraints.System) *constraints.Solution {
 	return sys.Solve(s.opts)
+}
+
+func (s optionsStrategy) SolveContext(ctx context.Context, sys *constraints.System) (*constraints.Solution, error) {
+	return sys.SolveCtx(ctx, s.opts)
 }
 
 // FromOptions wraps a constraints.Options as a named Strategy,

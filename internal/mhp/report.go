@@ -1,17 +1,28 @@
 package mhp
 
 import (
+	"encoding/hex"
 	"encoding/json"
 	"io"
+	"sort"
 
 	"fx10/internal/syntax"
 )
 
 // Report is the machine-readable form of an analysis Result, with
 // labels rendered as their display names. It is what
-// `fx10 mhp -json` emits, and what downstream tools (editors, race
-// triage dashboards) would consume.
+// `fx10 mhp -json` emits and what the analysis service
+// (internal/server) returns from /v1/analyze, so downstream tools
+// (editors, race triage dashboards) can consume either transport.
+//
+// The encoding is deterministic: label pairs are sorted by label
+// index (A ≤ B within a pair), method summaries follow program
+// declaration order, and race candidates are sorted by (L1, L2,
+// index). Byte-for-byte stability across runs and solver strategies
+// is a contract — golden-file tests and the server's response cache
+// both rely on it.
 type Report struct {
+	ProgramHash string       `json:"programHash"`
 	Mode        string       `json:"mode"`
 	Methods     int          `json:"methods"`
 	Labels      int          `json:"labels"`
@@ -71,10 +82,12 @@ func (r *Result) Report() Report {
 	p := r.Program
 	name := func(l syntax.Label) string { return p.LabelName(l) }
 
+	hash := p.Hash()
 	rep := Report{
-		Mode:    r.Sys.Mode.String(),
-		Methods: len(p.Methods),
-		Labels:  p.NumLabels(),
+		ProgramHash: hex.EncodeToString(hash[:]),
+		Mode:        r.Sys.Mode.String(),
+		Methods:     len(p.Methods),
+		Labels:      p.NumLabels(),
 		Iterations: Iterations{
 			Slabels: r.Sol.IterSlabels,
 			Level1:  r.Sol.IterL1,
@@ -83,11 +96,24 @@ func (r *Result) Report() Report {
 	}
 	rep.Constraints.Slabels, rep.Constraints.Level1, rep.Constraints.Level2 = r.Sys.Counts()
 
+	// Collect, then sort by label index: Each already iterates rows
+	// ascending, but the sort makes byte-stability independent of the
+	// pair-set representation.
+	var raw [][2]int
 	r.M.Each(func(i, j int) {
 		if i <= j {
-			rep.Pairs = append(rep.Pairs, LabelPair{A: name(syntax.Label(i)), B: name(syntax.Label(j))})
+			raw = append(raw, [2]int{i, j})
 		}
 	})
+	sort.Slice(raw, func(a, b int) bool {
+		if raw[a][0] != raw[b][0] {
+			return raw[a][0] < raw[b][0]
+		}
+		return raw[a][1] < raw[b][1]
+	})
+	for _, pr := range raw {
+		rep.Pairs = append(rep.Pairs, LabelPair{A: name(syntax.Label(pr[0])), B: name(syntax.Label(pr[1]))})
+	}
 
 	asyncPairs := r.AsyncBodyPairs()
 	rep.PairCounts = CountPairs(asyncPairs)

@@ -1,0 +1,100 @@
+package mhp
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fx10/internal/constraints"
+	"fx10/internal/engine"
+	"fx10/internal/parser"
+)
+
+// The JSON report must be byte-stable: identical across repeated runs
+// of the same analysis (the committed golden file pins the exact
+// bytes), and identical across solver strategies once the
+// strategy-specific iteration counters are masked out (Theorems 5–6:
+// every strategy computes the same least solution).
+func TestReportJSONGolden(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("..", "..", "testdata", "fanout.fx10"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := parser.Parse(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	render := func(strategy string) []byte {
+		e, err := engine.New(engine.Config{Strategy: strategy, CacheSize: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Analyze(engine.Job{Name: "fanout", Program: p, Mode: constraints.ContextSensitive})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := FromEngine(res).WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	first := render("")
+	for run := 0; run < 3; run++ {
+		if again := render(""); !bytes.Equal(first, again) {
+			t.Fatalf("run %d: report JSON not byte-stable", run)
+		}
+	}
+
+	golden := filepath.Join("testdata", "fanout_report.golden.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, first, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with UPDATE_GOLDEN=1 to regenerate)", err)
+	}
+	if !bytes.Equal(first, want) {
+		t.Errorf("report JSON drifted from golden file %s:\n got: %s\nwant: %s", golden, first, want)
+	}
+
+	// Cross-strategy: only the iteration counters may differ.
+	maskIters := func(strategy string) Report {
+		e, err := engine.New(engine.Config{Strategy: strategy, CacheSize: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Analyze(engine.Job{Name: "fanout", Program: p, Mode: constraints.ContextSensitive})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := FromEngine(res).Report()
+		rep.Iterations = Iterations{}
+		return rep
+	}
+	base := jsonMarshal(t, maskIters(""))
+	for _, strategy := range engine.Strategies() {
+		got := jsonMarshal(t, maskIters(strategy))
+		if !bytes.Equal(base, got) {
+			t.Errorf("strategy %s: masked report differs:\n got: %s\nwant: %s", strategy, got, base)
+		}
+	}
+}
+
+func jsonMarshal(t *testing.T, rep Report) []byte {
+	t.Helper()
+	out, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}

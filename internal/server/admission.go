@@ -1,0 +1,79 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// Admission control: a bounded worker pool with an explicit wait
+// queue in front of it. A request first tries to take a worker slot;
+// if none is free it queues, and if the queue is already at capacity
+// it is rejected immediately — the server answers 429 with a
+// Retry-After hint instead of letting latency collapse under a
+// standing backlog. Rejecting at admission keeps the failure mode
+// cheap: an overloaded server spends its cycles on the requests it
+// has already accepted.
+
+// errOverloaded is returned by acquire when the wait queue is full.
+var errOverloaded = errors.New("server: overloaded, admission queue full")
+
+type admission struct {
+	slots    chan struct{} // capacity = worker count
+	queueCap int64
+	queued   atomic.Int64
+}
+
+func newAdmission(workers, queueDepth int) *admission {
+	return &admission{
+		slots:    make(chan struct{}, workers),
+		queueCap: int64(queueDepth),
+	}
+}
+
+// acquire takes a worker slot, queueing for at most the queue
+// capacity's worth of company. It returns errOverloaded when the
+// queue is full and ctx.Err() when the caller gives up while
+// queued. On success the caller must release().
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if a.queued.Add(1) > a.queueCap {
+		a.queued.Add(-1)
+		return errOverloaded
+	}
+	defer a.queued.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (a *admission) release() { <-a.slots }
+
+// depth is the number of requests currently waiting for a slot.
+func (a *admission) depth() int64 { return a.queued.Load() }
+
+// retryAfter estimates how long a rejected client should back off:
+// one full queue drain at one (typical) solve per worker per interval.
+// Clamped to at least a second so clients do not hammer.
+func (a *admission) retryAfter(typicalSolve time.Duration) time.Duration {
+	workers := cap(a.slots)
+	if workers == 0 {
+		workers = 1
+	}
+	if typicalSolve <= 0 {
+		typicalSolve = 50 * time.Millisecond
+	}
+	d := typicalSolve * time.Duration((a.queueCap+int64(workers)-1)/int64(workers))
+	if d < time.Second {
+		d = time.Second
+	}
+	return d
+}

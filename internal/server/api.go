@@ -1,0 +1,119 @@
+package server
+
+import (
+	"fx10/internal/engine"
+	"fx10/internal/mhp"
+)
+
+// Wire types of the HTTP/JSON API. Every response body is
+// deterministic for a given program state — mhp.Report is byte-stable
+// by contract — so responses can be compared, cached and golden-filed.
+
+// AnalyzeRequest is the body of POST /v1/analyze.
+type AnalyzeRequest struct {
+	// Source is the FX10 program text.
+	Source string `json:"source"`
+	// Mode is "cs" (default) or "ci".
+	Mode string `json:"mode,omitempty"`
+}
+
+// AnalyzeResponse is the body of a successful /v1/analyze (and the
+// report part of /v1/delta).
+type AnalyzeResponse struct {
+	// ProgramHash identifies the analyzed program for /v1/query and
+	// equals report.programHash.
+	ProgramHash string `json:"programHash"`
+	// Cached is true when the engine served the solve from its
+	// program cache; Coalesced when this request joined another
+	// in-flight solve of the same program.
+	Cached    bool `json:"cached"`
+	Coalesced bool `json:"coalesced"`
+	// SolveMs is the engine's solve-stage wall time for the run that
+	// produced the result (zero on a cache hit).
+	SolveMs float64 `json:"solveMs"`
+	// Report is the full MHP report.
+	Report mhp.Report `json:"report"`
+}
+
+// QueryRequest is the body of POST /v1/query: a may-happen-in-
+// parallel question about a previously analyzed program.
+type QueryRequest struct {
+	ProgramHash string `json:"programHash"`
+	Mode        string `json:"mode,omitempty"`
+	// A and B are label display names (as reported in mhpPairs).
+	A string `json:"a"`
+	B string `json:"b"`
+}
+
+// QueryResponse is the verdict.
+type QueryResponse struct {
+	ProgramHash string `json:"programHash"`
+	A           string `json:"a"`
+	B           string `json:"b"`
+	// MHP is Theorem 3's verdict: false means the two labels can
+	// never run in parallel; true means the analysis cannot rule it
+	// out.
+	MHP bool `json:"mhp"`
+}
+
+// DeltaRequest is the body of POST /v1/delta: the full edited source
+// of a session's program. The first request of a session pays a full
+// analyze; later requests re-solve only the dirty method closure
+// against the session's previous version.
+type DeltaRequest struct {
+	// Session names the editing session; any non-empty string.
+	Session string `json:"session"`
+	Source  string `json:"source"`
+	// Mode must be consistent within a session ("cs" default).
+	Mode string `json:"mode,omitempty"`
+}
+
+// DeltaResponse is AnalyzeResponse plus what the incremental path
+// reused.
+type DeltaResponse struct {
+	AnalyzeResponse
+	// Delta is nil on the session's first (full) analyze.
+	Delta *DeltaStats `json:"delta,omitempty"`
+}
+
+// DeltaStats mirrors engine.DeltaStats on the wire.
+type DeltaStats struct {
+	MethodsTotal    int      `json:"methodsTotal"`
+	MethodsReused   int      `json:"methodsReused"`
+	MethodsResolved int      `json:"methodsResolved"`
+	DirtyMethods    []string `json:"dirtyMethods,omitempty"`
+	Full            bool     `json:"full,omitempty"`
+}
+
+func deltaStatsFrom(ds *engine.DeltaStats) *DeltaStats {
+	if ds == nil {
+		return nil
+	}
+	return &DeltaStats{
+		MethodsTotal:    ds.MethodsTotal,
+		MethodsReused:   ds.MethodsReused,
+		MethodsResolved: ds.MethodsResolved,
+		DirtyMethods:    ds.DirtyMethods,
+		Full:            ds.Full,
+	}
+}
+
+// ErrorResponse is every non-2xx body.
+type ErrorResponse struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// ErrorDetail carries a machine-routable kind alongside the message.
+// Kinds: "parse" (bad FX10 source), "analysis" (the pipeline failed
+// on valid-looking input), "overloaded" (admission queue full; honour
+// Retry-After), "timeout" (deadline hit mid-solve), "bad_request",
+// "not_found", "draining".
+type ErrorDetail struct {
+	Kind    string `json:"kind"`
+	Message string `json:"message"`
+}
+
+// HealthResponse is the body of GET /healthz.
+type HealthResponse struct {
+	Status string `json:"status"` // "ok" or "draining"
+}

@@ -1,0 +1,112 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"fx10/internal/constraints"
+	"fx10/internal/engine"
+	"fx10/internal/syntax"
+)
+
+// Singleflight coalescing: concurrent requests for the same
+// (program hash, mode) share one engine solve. Unlike the classic
+// singleflight, the solve does not run on any requester's context —
+// requesters come and go while it runs — but on a flight context that
+// is cancelled only when EVERY interested requester has gone away.
+// One impatient client among ten identical requests costs nothing;
+// ten impatient clients cancel the solve mid-fixpoint (the engine
+// checkpoints every constraints.CancelStride evaluations) and the
+// worker is back within milliseconds.
+
+type flightKey struct {
+	hash syntax.ProgramHash
+	mode constraints.Mode
+}
+
+type flight struct {
+	done    chan struct{} // closed when res/err are final
+	res     *engine.Result
+	err     error
+	waiters int // guarded by flights.mu
+	cancel  context.CancelFunc
+}
+
+type flights struct {
+	mu   sync.Mutex
+	m    map[flightKey]*flight
+	base context.Context // server lifetime: drain cancels all flights
+	// solveTimeout bounds each flight independently of its waiters.
+	solveTimeout time.Duration
+}
+
+func newFlights(base context.Context, solveTimeout time.Duration) *flights {
+	return &flights{m: make(map[flightKey]*flight), base: base, solveTimeout: solveTimeout}
+}
+
+// join registers as a waiter on the live flight for key, if any.
+// Callers use this before paying for admission: a duplicate request
+// adds no work, so it should not occupy a worker slot or queue
+// position. The caller must follow up with wait (which handles the
+// waiter accounting on departure).
+func (g *flights) join(key flightKey) (*flight, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	f, ok := g.m[key]
+	if ok {
+		f.waiters++
+	}
+	return f, ok
+}
+
+// do returns the shared result for key, starting solve if no flight
+// is in progress. joined reports whether an existing flight was
+// coalesced into. ctx only governs this caller's wait: its
+// cancellation abandons the wait (and, if it was the last waiter,
+// the flight) without disturbing other requesters.
+func (g *flights) do(ctx context.Context, key flightKey, solve func(context.Context) (*engine.Result, error)) (res *engine.Result, err error, joined bool) {
+	g.mu.Lock()
+	if f, ok := g.m[key]; ok {
+		f.waiters++
+		g.mu.Unlock()
+		res, err = g.wait(ctx, f)
+		return res, err, true
+	}
+
+	fctx, cancel := context.WithTimeout(g.base, g.solveTimeout)
+	f := &flight{done: make(chan struct{}), waiters: 1, cancel: cancel}
+	g.m[key] = f
+	g.mu.Unlock()
+
+	go func() {
+		defer cancel()
+		r, e := solve(fctx)
+		g.mu.Lock()
+		delete(g.m, key) // late arrivals start a fresh flight
+		g.mu.Unlock()
+		f.res, f.err = r, e
+		close(f.done)
+	}()
+
+	res, err = g.wait(ctx, f)
+	return res, err, false
+}
+
+// wait blocks until the flight lands or ctx is done. A departing
+// waiter that was the last one standing cancels the flight: nobody
+// wants the answer anymore.
+func (g *flights) wait(ctx context.Context, f *flight) (*engine.Result, error) {
+	select {
+	case <-f.done:
+		return f.res, f.err
+	case <-ctx.Done():
+		g.mu.Lock()
+		f.waiters--
+		if f.waiters == 0 {
+			f.cancel()
+		}
+		g.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Server smoke test: start fx10d, throw a 15s loadgen burst at it over
+# real TCP, scrape /metrics, and fail on transport errors or any
+# response outside 2xx/429. Used by CI and `make serversmoke`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PORT="${FX10D_PORT:-8710}"
+ADDR="127.0.0.1:${PORT}"
+BIN="$(mktemp -d)/fx10d"
+
+go build -o "$BIN" ./cmd/fx10d
+
+"$BIN" -addr "$ADDR" &
+DAEMON=$!
+trap 'kill "$DAEMON" 2>/dev/null || true' EXIT
+
+# Wait for /healthz (the daemon binds fast, but don't race it).
+for _ in $(seq 1 50); do
+  if curl -sf "http://${ADDR}/healthz" >/dev/null 2>&1; then
+    break
+  fi
+  sleep 0.1
+done
+curl -sf "http://${ADDR}/healthz" >/dev/null
+
+"$BIN" loadgen -addr "$ADDR" -c 8 -duration 15s -strict
+
+# /metrics must be valid JSON and show the burst.
+METRICS="$(curl -sf "http://${ADDR}/metrics")"
+echo "$METRICS" | grep -q '"solves"' || { echo "metrics missing solves: $METRICS" >&2; exit 1; }
+echo "$METRICS" | grep -q '"requestLatencyMs"' || { echo "metrics missing latency histogram" >&2; exit 1; }
+
+# Graceful drain: SIGTERM must flip /healthz and exit cleanly.
+kill -TERM "$DAEMON"
+wait "$DAEMON"
+trap - EXIT
+echo "server smoke OK"
