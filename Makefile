@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: verify build vet test race bench benchsmoke profile figures solverbench incrementalbench serverbench serversmoke fuzz fuzz-smoke
+.PHONY: verify build vet test race bench benchsmoke profile figures solverbench incrementalbench clockedbench serverbench serversmoke fuzz fuzz-smoke clocked-smoke
 
 verify: build vet race
 
@@ -44,6 +44,11 @@ solverbench:
 incrementalbench:
 	$(GO) run ./cmd/mhpbench -figure incremental -benchjson BENCH_incremental.json
 
+# clockedbench regenerates the committed clock-blind vs clock-aware
+# comparison (pair counts and solve times over the clocked corpus).
+clockedbench:
+	$(GO) run ./cmd/mhpbench -figure clocked -benchjson BENCH_clocked.json
+
 # serverbench regenerates the committed analysis-service load report:
 # a mixed query/analyze/delta run plus a cached-/v1/query-only run,
 # both in-process (no TCP listener flakiness), seeded.
@@ -69,3 +74,11 @@ fuzz:
 
 fuzz-smoke:
 	$(GO) run ./cmd/fx10 fuzz -seeds 1 -n 200
+
+# clocked-smoke is the CI gate for the clock-aware analysis: a
+# fixed-seed clocked differential fuzz run (observed ⊆ exact ⊆ static
+# under the barrier semantics; fails on any soundness violation) plus
+# a small clocked figure.
+clocked-smoke:
+	$(GO) run ./cmd/fx10 fuzz -clocked -seeds 1 -n 150
+	$(GO) run ./cmd/mhpbench -figure clocked -n 10

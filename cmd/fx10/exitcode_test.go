@@ -8,6 +8,7 @@ import (
 
 	"fx10/internal/engine"
 	"fx10/internal/parser"
+	"fx10/internal/syntax"
 )
 
 func TestExitCodeClassification(t *testing.T) {
@@ -19,6 +20,8 @@ func TestExitCodeClassification(t *testing.T) {
 		{"nil-ish generic", fmt.Errorf("boom"), 1},
 		{"parse", &parser.Error{Line: 3, Col: 7, Msg: "expected ';'"}, 2},
 		{"wrapped parse", fmt.Errorf("loading: %w", &parser.Error{Line: 1, Col: 1, Msg: "x"}), 2},
+		{"clock misuse", &syntax.ClockUseError{Label: "N", Async: "A", Method: "main"}, 2},
+		{"wrapped clock misuse", fmt.Errorf("loading: %w", &syntax.ClockUseError{Label: "N", Async: "A", Method: "main"}), 2},
 		{"analysis", &engine.AnalysisError{Name: "p", Value: "kaboom"}, 3},
 		{"wrapped analysis", fmt.Errorf("corpus: %w", &engine.AnalysisError{Name: "p", Value: "kaboom"}), 3},
 	}
@@ -42,5 +45,35 @@ func TestMHPParseErrorExitCode(t *testing.T) {
 	}
 	if got := exitCode(err); got != 2 {
 		t.Errorf("parse failure maps to exit %d, want 2 (err: %v)", got, err)
+	}
+}
+
+// A barrier inside an unclocked async must be rejected statically by
+// every subcommand that loads a program — exit code 2, not a panic or
+// a runtime error. "advance" is the X10 spelling of "next".
+func TestAdvanceOutsideClockedContextExitCode(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "unclocked_advance.fx10")
+	src := "array 2;\nvoid main() {\n  async { N: advance; }\n  next;\n}\n"
+	if err := os.WriteFile(bad, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range []string{"mhp", "run", "clocked", "check", "print"} {
+		err := run([]string{sub, bad})
+		if err == nil {
+			t.Fatalf("%s accepted advance inside an unclocked async", sub)
+		}
+		if got := exitCode(err); got != 2 {
+			t.Errorf("%s: clock misuse maps to exit %d, want 2 (err: %v)", sub, got, err)
+		}
+	}
+
+	// The same barrier inside a *clocked* async is legal.
+	good := filepath.Join(t.TempDir(), "clocked_advance.fx10")
+	src = "array 2;\nvoid main() {\n  clocked async { N: advance; }\n  next;\n}\n"
+	if err := os.WriteFile(good, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"check", good}); err != nil {
+		t.Errorf("check rejected a legal clocked advance: %v", err)
 	}
 }

@@ -26,6 +26,7 @@ func cmdFuzz(args []string) error {
 	steps := fs.Int64("steps", 100_000, "instruction budget per recorded execution")
 	failures := fs.String("failures", "testdata/fuzz-failures", "directory for reproducer files (written only on violation)")
 	selftest := fs.Bool("selftest", false, "fuzz a deliberately unsound analysis; succeeds only if the harness catches it")
+	clocked := fs.Bool("clocked", false, "fuzz the clocked corpus: barrier-aware exact relation vs the phase-aware analysis")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -52,6 +53,7 @@ func cmdFuzz(args []string) error {
 		Incremental: *incremental,
 		Minimize:    *minimize,
 		FailureDir:  *failures,
+		Clocked:     *clocked,
 	}
 	if *selftest {
 		cfg.Static = difffuzz.UnsoundStatic(difffuzz.EngineStatic())

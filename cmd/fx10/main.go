@@ -8,7 +8,7 @@
 //	fx10 mhp        [-mode M] [-strategy NAME] [-pairs] [-races] [-places] FILE
 //	fx10 constraints [-mode M] FILE
 //	fx10 explore    [-max N] [-a CSV] FILE
-//	fx10 fuzz       [-seeds CSV] [-n N] [-budget N] [-parallel N] [-minimize] [-incremental]
+//	fx10 fuzz       [-seeds CSV] [-n N] [-budget N] [-parallel N] [-minimize] [-incremental] [-clocked]
 //	fx10 print      FILE
 //	fx10 check      FILE
 //
@@ -54,13 +54,15 @@ func main() {
 }
 
 // exitCode distinguishes failure classes for scripting: 2 means the
-// input did not parse, 3 means the analysis itself failed on input
-// that parsed, 1 is everything else.
+// input did not parse or failed static validation (including clock
+// misuse: next/advance inside an unclocked async), 3 means the
+// analysis itself failed on input that parsed, 1 is everything else.
 func exitCode(err error) int {
 	var pe *parser.Error
+	var ce *syntax.ClockUseError
 	var ae *engine.AnalysisError
 	switch {
-	case errors.As(err, &pe):
+	case errors.As(err, &pe), errors.As(err, &ce):
 		return 2
 	case errors.As(err, &ae):
 		return 3
@@ -105,7 +107,16 @@ func loadProgram(fs *flag.FlagSet) (*syntax.Program, error) {
 	if err != nil {
 		return nil, err
 	}
-	return parser.Parse(string(data))
+	p, err := parser.Parse(string(data))
+	if err != nil {
+		return nil, err
+	}
+	// A barrier inside an unclocked async always faults dynamically;
+	// reject it here (exit code 2) like any other invalid input.
+	if err := syntax.CheckClockUse(p); err != nil {
+		return nil, err
+	}
+	return p, nil
 }
 
 // parseArray parses "1,2,3" into an initial array prefix.
@@ -235,7 +246,7 @@ func cmdMHP(args []string) error {
 	showPairs := fs.Bool("pairs", true, "print the MHP label pairs")
 	showRaces := fs.Bool("races", false, "print race candidates")
 	withPlaces := fs.Bool("places", false, "apply the same-place refinement (Section 8 extension)")
-	withClocks := fs.Bool("clocks", false, "apply the clock-phase refinement (Section 8 extension)")
+	withClocks := fs.Bool("clocks", false, "apply the clock-phase refinement (now built into solving for clocked programs; kept for compatibility, a re-application is a no-op)")
 	asJSON := fs.Bool("json", false, "emit a machine-readable JSON report (ignores the other output flags)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -287,6 +298,15 @@ func cmdMHP(args []string) error {
 	counts := mhp.CountPairs(r.AsyncBodyPairs())
 	fmt.Printf("async-body pairs: total=%d self=%d same=%d diff=%d\n",
 		counts.Total, counts.Self, counts.Same, counts.Diff)
+	if r.Sys.PhaseCode != nil {
+		pruned := 0
+		r.Sol.ClockPrunedMainPairs().Each(func(i, j int) {
+			if i <= j {
+				pruned++
+			}
+		})
+		fmt.Printf("clock phases: pruned %d pairs\n", pruned)
+	}
 	fmt.Printf("iterations: Slabels=%d level1=%d level2=%d\n",
 		r.Sol.IterSlabels, r.Sol.IterL1, r.Sol.IterL2)
 

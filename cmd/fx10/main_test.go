@@ -206,23 +206,28 @@ func TestCmdClocked(t *testing.T) {
 	}
 }
 
-func TestCmdMHPClocksRefinement(t *testing.T) {
+func TestCmdMHPClockAwareByDefault(t *testing.T) {
 	full, err := capture(t, func() error { return run([]string{"mhp", phased}) })
 	if err != nil {
 		t.Fatalf("mhp: %v", err)
 	}
+	if strings.Contains(full, "(WL, RR)") {
+		t.Fatalf("default analysis kept a cross-phase pair:\n%s", full)
+	}
+	if !strings.Contains(full, "(WL, WR)") {
+		t.Fatalf("default analysis dropped a same-phase pair:\n%s", full)
+	}
+	if !strings.Contains(full, "pruned") {
+		t.Fatalf("default analysis does not report pruned pairs:\n%s", full)
+	}
+	// -clocks is a compatibility no-op: the refinement already ran
+	// inside the solver, so re-applying it must change nothing.
 	refined, err := capture(t, func() error { return run([]string{"mhp", "-clocks", phased}) })
 	if err != nil {
 		t.Fatalf("mhp -clocks: %v", err)
 	}
-	if !strings.Contains(full, "(WL, RR)") {
-		t.Fatalf("erased analysis missing cross-phase pair:\n%s", full)
-	}
-	if strings.Contains(refined, "(WL, RR)") {
-		t.Fatalf("clock refinement kept cross-phase pair:\n%s", refined)
-	}
-	if !strings.Contains(refined, "(WL, WR)") {
-		t.Fatalf("clock refinement dropped same-phase pair:\n%s", refined)
+	if refined != full {
+		t.Fatalf("-clocks changed clock-aware output:\nwithout:\n%s\nwith:\n%s", full, refined)
 	}
 }
 

@@ -7,14 +7,16 @@
 //
 // Usage:
 //
-//	mhpbench [-figure all|5|6|7|8|9|examples|precision|scaling|corpus|solver|incremental] [-parallel N] [-strategy NAME] [-benchjson FILE]
+//	mhpbench [-figure all|5|6|7|8|9|examples|precision|scaling|corpus|solver|incremental|clocked] [-parallel N] [-strategy NAME] [-benchjson FILE] [-n N]
 //
 // The solver figure races all four registered solving strategies on
 // the 13-benchmark corpus; the incremental figure sweeps single-method
 // edits over the corpus and compares incremental re-analysis
-// (engine.AnalyzeDelta) against solving from scratch. -benchjson
-// additionally writes either sweep machine-readably (the committed
-// BENCH_solver.json / BENCH_incremental.json).
+// (engine.AnalyzeDelta) against solving from scratch; the clocked
+// figure compares clock-blind and clock-aware pair counts and solve
+// times over a generated clocked corpus (-n programs). -benchjson
+// additionally writes the sweep machine-readably (the committed
+// BENCH_solver.json / BENCH_incremental.json / BENCH_clocked.json).
 package main
 
 import (
@@ -31,12 +33,13 @@ import (
 )
 
 func main() {
-	figure := flag.String("figure", "all", "which figure to regenerate: all, 5, 6, 7, 8, 9, examples, scaling, corpus, solver or incremental")
+	figure := flag.String("figure", "all", "which figure to regenerate: all, 5, 6, 7, 8, 9, examples, scaling, corpus, solver, incremental or clocked")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool width for the corpus sweep")
 	strategy := flag.String("strategy", "", "solver strategy for the incremental figure (default: "+engine.DefaultStrategy+")")
-	benchjson := flag.String("benchjson", "", "with -figure solver or incremental: also write the sweep as JSON to this file")
+	benchjson := flag.String("benchjson", "", "with -figure solver, incremental or clocked: also write the sweep as JSON to this file")
+	n := flag.Int("n", 40, "generated programs for the clocked figure")
 	flag.Parse()
-	if err := run(*figure, *parallel, *strategy, *benchjson); err != nil {
+	if err := run(*figure, *parallel, *strategy, *benchjson, *n); err != nil {
 		fmt.Fprintln(os.Stderr, "mhpbench:", err)
 		os.Exit(exitCode(err))
 	}
@@ -57,7 +60,7 @@ func exitCode(err error) int {
 	return 1
 }
 
-func run(figure string, parallel int, strategy, benchjson string) error {
+func run(figure string, parallel int, strategy, benchjson string, clockedN int) error {
 	// Fail early on a bad strategy name; the error lists the
 	// registered names.
 	if _, err := engine.Lookup(strategy); err != nil {
@@ -172,8 +175,22 @@ func run(figure string, parallel int, strategy, benchjson string) error {
 			fmt.Printf("wrote %s\n", benchjson)
 		}
 	}
+	if want["clocked"] {
+		section("Clocked analysis: clock-blind vs clock-aware pair counts")
+		bench, err := experiments.RunClockedBench(clockedN, 3)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatClockedBench(bench))
+		if benchjson != "" {
+			if err := experiments.WriteClockedBenchJSON(bench, benchjson); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", benchjson)
+		}
+	}
 	if len(want) == 0 {
-		return fmt.Errorf("nothing selected; use -figure all|5|6|7|8|9|examples|precision|scaling|corpus|solver|incremental")
+		return fmt.Errorf("nothing selected; use -figure all|5|6|7|8|9|examples|precision|scaling|corpus|solver|incremental|clocked")
 	}
 	return nil
 }

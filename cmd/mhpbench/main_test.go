@@ -32,7 +32,7 @@ func captureRunParallel(t *testing.T, figure string, parallel int) (string, erro
 		}
 		done <- sb.String()
 	}()
-	ferr := run(figure, parallel, "", "")
+	ferr := run(figure, parallel, "", "", 5)
 	w.Close()
 	os.Stdout = old
 	return <-done, ferr
@@ -112,7 +112,7 @@ func TestSolverSection(t *testing.T) {
 	defer func() { os.Stdout = old; devnull.Close() }()
 
 	path := t.TempDir() + "/bench.json"
-	if err := run("solver", 1, "", path); err != nil {
+	if err := run("solver", 1, "", path, 5); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	data, err := os.ReadFile(path)
@@ -139,7 +139,7 @@ func TestIncrementalSection(t *testing.T) {
 	defer func() { os.Stdout = old; devnull.Close() }()
 
 	path := t.TempDir() + "/bench.json"
-	if err := run("incremental", 1, "worklist", path); err != nil {
+	if err := run("incremental", 1, "worklist", path, 5); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	data, err := os.ReadFile(path)
@@ -154,12 +154,40 @@ func TestIncrementalSection(t *testing.T) {
 }
 
 func TestUnknownStrategy(t *testing.T) {
-	err := run("incremental", 1, "no-such-solver", "")
+	err := run("incremental", 1, "no-such-solver", "", 5)
 	if err == nil {
 		t.Fatal("unknown strategy accepted")
 	}
 	if !strings.Contains(err.Error(), "no-such-solver") || !strings.Contains(err.Error(), "phased") {
 		t.Fatalf("error does not name the strategy and the registered names: %v", err)
+	}
+}
+
+func TestClockedSection(t *testing.T) {
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() { os.Stdout = old; devnull.Close() }()
+
+	n := 8
+	if testing.Short() {
+		n = 3
+	}
+	path := t.TempDir() + "/bench.json"
+	if err := run("clocked", 1, "", path, n); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("benchjson not written: %v", err)
+	}
+	for _, frag := range []string{`"name": "phased"`, `"blind_pairs"`, `"aware_pairs"`, `"pruned"`, `"strictly_fewer"`} {
+		if !strings.Contains(string(data), frag) {
+			t.Fatalf("benchjson missing %q:\n%s", frag, data)
+		}
 	}
 }
 

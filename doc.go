@@ -10,11 +10,17 @@
 // two-tier content-hash cache (whole-program results and
 // cross-program method summaries) and method-granular incremental
 // re-analysis (engine.AnalyzeDelta), all differentially fuzzed
-// against exact and observed parallelism.
+// against exact and observed parallelism. The Section 8 clocks
+// extension is analyzed, not just executed: per-label phase
+// inference (internal/clocks) feeds phase-ordering facts into
+// constraint solving, so barrier-separated pairs are pruned
+// identically under every solver strategy and the incremental path,
+// with soundness fuzzed against an exhaustive barrier-semantics
+// explorer and a clocked reference interpreter.
 //
 // Start at README.md for the tour, DESIGN.md for the system
 // inventory, and EXPERIMENTS.md for paper-vs-measured results. The
 // implementation lives under internal/; the executables are
-// cmd/fx10, cmd/x10c and cmd/mhpbench; runnable examples are under
-// examples/.
+// cmd/fx10, cmd/fx10d, cmd/x10c and cmd/mhpbench; runnable examples
+// are under examples/.
 package fx10

@@ -5,9 +5,11 @@
 // finish-per-step barriers.
 //
 // The example runs the program under the faithful barrier semantics
-// (internal/clocks), shows that the erased core analysis reports
-// cross-phase MHP pairs, and that the static phase refinement removes
-// exactly those, validated against the dynamic execution.
+// (internal/clocks), then shows that the analysis is clock-aware out
+// of the box: phase-ordering facts are threaded into constraint
+// solving, so the standard pipeline already excludes the cross-phase
+// pairs a clock-blind solve reports — validated against both the
+// dynamic execution and an exhaustive exploration of every schedule.
 //
 //	go run ./examples/clocked
 package main
@@ -18,6 +20,8 @@ import (
 
 	"fx10/internal/clocks"
 	"fx10/internal/constraints"
+	"fx10/internal/intset"
+	"fx10/internal/labels"
 	"fx10/internal/mhp"
 	"fx10/internal/parser"
 	"fx10/internal/syntax"
@@ -59,15 +63,15 @@ func main() {
 	res, _ := clocks.Run(p, nil, 1, 100_000)
 	fmt.Printf("clocked run: a=%v phases=%d steps=%d\n", res.Array, res.Phases, res.Steps)
 
-	// 2. The erased analysis is sound but conservative: it pairs the
-	// phase-0 writes with the phase-1 reads.
+	// 2. The standard pipeline is clock-aware: phase facts prune
+	// ordered pairs during solving. A clock-blind solve of the same
+	// system shows what that buys.
 	r := mhp.MustAnalyze(p, constraints.ContextSensitive)
-	pi := clocks.ComputePhases(p)
-	refined := pi.Refine(r.M)
+	blindSys := constraints.Generate(labels.Compute(p), constraints.ContextSensitive)
+	blindSys.Phases, blindSys.PhaseCode = nil, nil
+	blind := blindSys.Solve(constraints.Options{}).MainM()
 
-	show := func(name string, set interface {
-		Each(func(i, j int))
-	}) {
+	show := func(name string, set *intset.PairSet) {
 		var pairs []string
 		set.Each(func(i, j int) {
 			if i <= j {
@@ -78,19 +82,33 @@ func main() {
 		sort.Strings(pairs)
 		fmt.Printf("%-22s %2d pairs: %v\n", name, len(pairs), pairs)
 	}
-	show("erased analysis:", r.M)
-	show("phase-refined:", refined)
+	show("clock-blind solve:", blind)
+	show("clock-aware (default):", r.M)
 
-	// 3. The refinement removed exactly the cross-phase pairs.
+	// 3. The cross-phase pairs are gone, and re-applying the post-hoc
+	// refinement is a no-op — the pruning already happened inside the
+	// solver.
 	wl, _ := p.LabelByName("WL")
 	rr, _ := p.LabelByName("RR")
 	wr, _ := p.LabelByName("WR")
 	rl, _ := p.LabelByName("RL")
-	fmt.Printf("\n(WL,RR) erased=%v refined=%v   (WR,RL) erased=%v refined=%v\n",
-		r.M.Has(int(wl), int(rr)), refined.Has(int(wl), int(rr)),
-		r.M.Has(int(wr), int(rl)), refined.Has(int(wr), int(rl)))
+	pi := clocks.ComputePhases(p)
+	if !pi.Refine(r.M).Equal(r.M) {
+		panic("post-hoc refinement changed the already-pruned result")
+	}
+	fmt.Printf("\n(WL,RR) blind=%v aware=%v   (WR,RL) blind=%v aware=%v\n",
+		blind.Has(int(wl), int(rr)), r.M.Has(int(wl), int(rr)),
+		blind.Has(int(wr), int(rl)), r.M.Has(int(wr), int(rl)))
 
-	// 4. Static phases, for the record.
+	// 4. The pruning is sound: exhaustively exploring every schedule
+	// under the barrier semantics finds no pair outside the aware M.
+	ex := clocks.Explore(p, nil, 1<<20)
+	if !ex.Complete || !ex.MHP.SubsetOf(r.M) {
+		panic("exact clocked relation escapes the clock-aware analysis")
+	}
+	fmt.Printf("exhaustive check: %d states, exact ⊆ aware M holds\n", ex.States)
+
+	// 5. Static phases, for the record.
 	for _, name := range []string{"WL", "WR", "RL", "RR", "D"} {
 		l, _ := p.LabelByName(name)
 		fmt.Printf("phase(%s) = %v   ", name, pi.PhaseOf(l))

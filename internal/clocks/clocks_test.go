@@ -4,8 +4,6 @@ import (
 	"errors"
 	"testing"
 
-	"fx10/internal/constraints"
-	"fx10/internal/labels"
 	"fx10/internal/parser"
 	"fx10/internal/syntax"
 )
@@ -323,85 +321,6 @@ func TestPhaseAnalysisPhased(t *testing.T) {
 	}
 }
 
-func TestPhaseRefinementDropsCrossPhasePairs(t *testing.T) {
-	p := parser.MustParse(phased)
-	in := labels.Compute(p)
-	m := constraints.Generate(in, constraints.ContextSensitive).Solve(constraints.Options{}).MainM()
-	pi := ComputePhases(p)
-	refined := pi.Refine(m)
-
-	w1, _ := p.LabelByName("W1")
-	r2, _ := p.LabelByName("R2")
-	w2, _ := p.LabelByName("W2")
-	r1, _ := p.LabelByName("R1")
-
-	// The erased analysis pairs W1 with R2 (and W2 with R1)…
-	if !m.Has(int(w1), int(r2)) || !m.Has(int(w2), int(r1)) {
-		t.Fatalf("erased analysis missing expected pairs: %v", m)
-	}
-	// …but the barrier separates phases 0 and 1.
-	if refined.Has(int(w1), int(r2)) || refined.Has(int(w2), int(r1)) {
-		t.Fatalf("phase refinement kept cross-phase pairs")
-	}
-	// Same-phase parallelism survives: W1 ∥ W2 and R1 ∥ R2.
-	if !refined.Has(int(w1), int(w2)) || !refined.Has(int(r1), int(r2)) {
-		t.Fatalf("phase refinement dropped same-phase pairs")
-	}
-	if !refined.SubsetOf(m) {
-		t.Fatalf("refinement not a subset")
-	}
-}
-
-// Soundness of the refinement against the clocked interpreter: every
-// dynamically observed simultaneous pair is in the refined set, and
-// every Known-phase label only executes at its computed phase.
-func TestPhaseRefinementSoundness(t *testing.T) {
-	srcs := []string{
-		phased,
-		`
-array 4;
-void main() {
-  clocked async {
-    X1: a[0] = 1;
-    XN: next;
-    X2: a[1] = 1;
-  }
-  Y1: a[2] = 1;
-  YN: next;
-  Y2: a[3] = 1;
-}
-`,
-	}
-	for si, src := range srcs {
-		p := parser.MustParse(src)
-		in := labels.Compute(p)
-		m := constraints.Generate(in, constraints.ContextSensitive).Solve(constraints.Options{}).MainM()
-		pi := ComputePhases(p)
-		refined := pi.Refine(m)
-		for seed := int64(0); seed < 60; seed++ {
-			it := New(p, nil, seed)
-			if _, err := it.Run(100_000); err != nil {
-				t.Fatalf("src %d seed %d: %v", si, seed, err)
-			}
-			if !it.pairs.SubsetOf(refined) {
-				t.Fatalf("src %d seed %d: dynamic pairs %v ⊄ refined %v", si, seed, it.pairs, refined)
-			}
-			for l := 0; l < p.NumLabels(); l++ {
-				want, ok := pi.PhaseOf(syntax.Label(l)).IsKnown()
-				if !ok {
-					continue
-				}
-				for _, got := range it.PhasesSeen(syntax.Label(l)) {
-					if got != want {
-						t.Fatalf("src %d: label %s executed at phase %d, analysis says %d",
-							si, p.LabelName(syntax.Label(l)), got, want)
-					}
-				}
-			}
-		}
-	}
-}
-
 func TestPhaseUnknownCases(t *testing.T) {
 	p := parser.MustParse(`
 array 4;
@@ -464,16 +383,16 @@ void main() {
 }
 
 func TestPhaseLatticeOps(t *testing.T) {
-	if got := Known(2).join(Known(2)); got != Known(2) {
+	if got := Known(2).Join(Known(2)); got != Known(2) {
 		t.Fatalf("join same: %v", got)
 	}
-	if got := Known(1).join(Known(2)); got != Unknown {
+	if got := Known(1).Join(Known(2)); got != Unknown {
 		t.Fatalf("join diff: %v", got)
 	}
-	if got := Unset.join(Known(3)); got != Known(3) {
+	if got := Unset.Join(Known(3)); got != Known(3) {
 		t.Fatalf("join unset: %v", got)
 	}
-	if got := Known(3).join(Unknown); got != Unknown {
+	if got := Known(3).Join(Unknown); got != Unknown {
 		t.Fatalf("join unknown: %v", got)
 	}
 	if Unknown.String() != "?" || Unset.String() != "⊥" || Known(12).String() != "12" {

@@ -1,0 +1,157 @@
+package clocks
+
+import (
+	"testing"
+
+	"fx10/internal/explore"
+	"fx10/internal/parser"
+)
+
+const exploreBudget = 1 << 20
+
+// TestExploreSplitPhase: on the canonical split-phase program the
+// exact clocked relation must drop the cross-phase pairs the erased
+// relation contains, and be a subset of the erased relation (removing
+// synchronization only adds interleavings).
+func TestExploreSplitPhase(t *testing.T) {
+	p := parser.MustParse(phased)
+	res := Explore(p, nil, exploreBudget)
+	if !res.Complete {
+		t.Fatalf("exploration incomplete after %d states", res.States)
+	}
+	if !res.Terminated || res.Deadlocks != 0 || res.ClockErrors != 0 {
+		t.Fatalf("terminated=%v deadlocks=%d clockErrors=%d, want clean termination",
+			res.Terminated, res.Deadlocks, res.ClockErrors)
+	}
+
+	erased := explore.MHP(p, nil, exploreBudget)
+	if !erased.Complete {
+		t.Fatal("erased exploration incomplete")
+	}
+	if !res.MHP.SubsetOf(erased.MHP) {
+		t.Error("clocked exact relation not a subset of the erased one")
+	}
+
+	w1, _ := p.LabelByName("W1")
+	r2, _ := p.LabelByName("R2")
+	w2, _ := p.LabelByName("W2")
+	r1, _ := p.LabelByName("R1")
+	if !erased.MHP.Has(int(w1), int(r2)) {
+		t.Fatal("erased relation misses (W1, R2); test premise broken")
+	}
+	if res.MHP.Has(int(w1), int(r2)) || res.MHP.Has(int(w2), int(r1)) {
+		t.Error("clocked exact relation keeps cross-phase pairs the barrier serializes")
+	}
+	// Same-phase parallelism survives.
+	if !res.MHP.Has(int(w1), int(w2)) {
+		t.Error("clocked exact relation lost the same-phase pair (W1, W2)")
+	}
+}
+
+// TestExploreBarrierInFinishBody: a single registered activity that
+// parks inside its own finish body must release the barrier — its
+// dormant continuation after the join is the same activity, not a
+// second registered one holding the clock.
+func TestExploreBarrierInFinishBody(t *testing.T) {
+	p := parser.MustParse(`
+array 2;
+void main() {
+  F: finish {
+    W: a[0] = 1;
+    N: next;
+    X: a[1] = 1;
+  }
+  D: a[0] = 2;
+}
+`)
+	res := Explore(p, nil, exploreBudget)
+	if !res.Complete || !res.Terminated {
+		t.Fatalf("complete=%v terminated=%v, want clean termination", res.Complete, res.Terminated)
+	}
+	if res.Deadlocks != 0 || res.ClockErrors != 0 {
+		t.Fatalf("deadlocks=%d clockErrors=%d, want none", res.Deadlocks, res.ClockErrors)
+	}
+}
+
+// TestExploreClockedFinishDeadlock: a registered activity blocked at a
+// finish join while its clocked child waits at the barrier is the
+// classic clocked-finish deadlock; every interleaving must get stuck.
+func TestExploreClockedFinishDeadlock(t *testing.T) {
+	p := parser.MustParse(`
+array 2;
+void main() {
+  F: finish {
+    C: clocked async {
+      N: next;
+      W: a[0] = 1;
+    }
+  }
+  D: a[1] = 1;
+}
+`)
+	res := Explore(p, nil, exploreBudget)
+	if !res.Complete {
+		t.Fatal("exploration incomplete")
+	}
+	if res.Terminated {
+		t.Error("deadlocked program reported a terminating interleaving")
+	}
+	if res.Deadlocks == 0 {
+		t.Error("no deadlock state detected")
+	}
+}
+
+// TestExploreUnclockedNext: next in an unregistered activity is the
+// dynamic clock-use error; exploration reports it instead of stepping.
+func TestExploreUnclockedNext(t *testing.T) {
+	p := parser.MustParse(`
+array 2;
+void main() {
+  A: async {
+    N: next;
+    W: a[0] = 1;
+  }
+  D: a[1] = 1;
+}
+`)
+	res := Explore(p, nil, exploreBudget)
+	if !res.Complete {
+		t.Fatal("exploration incomplete")
+	}
+	if res.ClockErrors == 0 {
+		t.Error("unregistered next not reported as a clock error")
+	}
+}
+
+// TestExploreAgreesWithInterp: every pair a randomized Interp run
+// observes must be in the explorer's exact relation (observed ⊆
+// exact), on both the split-phase program and a clock-free one.
+func TestExploreAgreesWithInterp(t *testing.T) {
+	srcs := []string{phased, `
+array 4;
+void main() {
+  F: finish {
+    A: async { W1: a[0] = 1; }
+    W2: a[1] = 1;
+  }
+  D: a[2] = a[0] + 1;
+}
+`}
+	for _, src := range srcs {
+		p := parser.MustParse(src)
+		res := Explore(p, nil, exploreBudget)
+		if !res.Complete {
+			t.Fatal("exploration incomplete")
+		}
+		for seed := int64(0); seed < 50; seed++ {
+			it := New(p, nil, seed)
+			r, err := it.Run(100000)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if !r.Pairs.SubsetOf(res.MHP) {
+				t.Fatalf("seed %d: observed pairs not ⊆ exact relation", seed)
+			}
+		}
+	}
+}

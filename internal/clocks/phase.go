@@ -26,8 +26,10 @@ func Known(n int) Phase { return Phase{state: 1, n: n} }
 // it.
 func (p Phase) IsKnown() (int, bool) { return p.n, p.state == 1 }
 
-// join is the lattice join.
-func (p Phase) join(q Phase) Phase {
+// Join is the lattice join: ⊥ is the identity, ⊤ absorbs, and two
+// different known phases merge to ⊤. It is commutative, associative
+// and idempotent (see the lattice-law tests).
+func (p Phase) Join(q Phase) Phase {
 	switch {
 	case p.state == 0:
 		return q
@@ -51,6 +53,14 @@ func (p Phase) add(d delta) Phase {
 		return Unknown
 	}
 	return Known(p.n + d.n)
+}
+
+// Ordered reports whether two phases are provably ordered by the
+// single implicit clock: both are known and different, so the barrier
+// serializes them and the labels can never execute simultaneously.
+// Any ⊥ or ⊤ operand yields false (no ordering fact).
+func (p Phase) Ordered(q Phase) bool {
+	return p.state == 1 && q.state == 1 && p.n != q.n
 }
 
 func (p Phase) String() string {
@@ -207,7 +217,7 @@ func (pi *PhaseInfo) propagate() {
 
 // setLabel joins ph into the label's phase and reports change.
 func (pi *PhaseInfo) setLabel(l syntax.Label, ph Phase) bool {
-	next := pi.phases[l].join(ph)
+	next := pi.phases[l].Join(ph)
 	if next != pi.phases[l] {
 		pi.phases[l] = next
 		return true
@@ -217,7 +227,7 @@ func (pi *PhaseInfo) setLabel(l syntax.Label, ph Phase) bool {
 
 // setEntry joins ph into a method's entry phase and reports change.
 func (pi *PhaseInfo) setEntry(mi int, ph Phase) bool {
-	next := pi.methodEntry[mi].join(ph)
+	next := pi.methodEntry[mi].Join(ph)
 	if next != pi.methodEntry[mi] {
 		pi.methodEntry[mi] = next
 		return true
@@ -283,6 +293,22 @@ func (pi *PhaseInfo) walk(s *syntax.Stmt, cur Phase) bool {
 
 // PhaseOf returns the computed phase of a label.
 func (pi *PhaseInfo) PhaseOf(l syntax.Label) Phase { return pi.phases[l] }
+
+// Codes flattens the analysis to one int32 per label: the concrete
+// phase for Known labels, -1 for ⊥/⊤. Two labels with non-negative,
+// different codes are Ordered. This is the compact form the
+// constraint solvers consume on their hot path.
+func (pi *PhaseInfo) Codes() []int32 {
+	codes := make([]int32, len(pi.phases))
+	for l, ph := range pi.phases {
+		if n, ok := ph.IsKnown(); ok {
+			codes[l] = int32(n)
+		} else {
+			codes[l] = -1
+		}
+	}
+	return codes
+}
 
 // Refine removes from an MHP pair set every pair whose two labels
 // have known, different phases: the single clock serializes different

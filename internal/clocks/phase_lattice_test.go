@@ -1,0 +1,116 @@
+package clocks
+
+import "testing"
+
+// The Phase lattice is flat: ⊥ below every Known(n) below ⊤. Join and
+// Ordered are now exported (internal/constraints consumes them), so
+// the algebraic laws they rely on are pinned here table-driven over a
+// sample that exercises every state combination.
+
+var latticeSamples = []Phase{
+	Unset,
+	Unknown,
+	Known(0),
+	Known(1),
+	Known(2),
+	Known(41),
+}
+
+func TestJoinIdempotent(t *testing.T) {
+	for _, p := range latticeSamples {
+		if got := p.Join(p); got != p {
+			t.Errorf("%v ⊔ %v = %v, want %v", p, p, got, p)
+		}
+	}
+}
+
+func TestJoinCommutative(t *testing.T) {
+	for _, p := range latticeSamples {
+		for _, q := range latticeSamples {
+			if pq, qp := p.Join(q), q.Join(p); pq != qp {
+				t.Errorf("%v ⊔ %v = %v but %v ⊔ %v = %v", p, q, pq, q, p, qp)
+			}
+		}
+	}
+}
+
+func TestJoinAssociative(t *testing.T) {
+	for _, p := range latticeSamples {
+		for _, q := range latticeSamples {
+			for _, r := range latticeSamples {
+				l := p.Join(q).Join(r)
+				rr := p.Join(q.Join(r))
+				if l != rr {
+					t.Errorf("(%v ⊔ %v) ⊔ %v = %v but %v ⊔ (%v ⊔ %v) = %v",
+						p, q, r, l, p, q, r, rr)
+				}
+			}
+		}
+	}
+}
+
+func TestJoinBottomIdentity(t *testing.T) {
+	for _, p := range latticeSamples {
+		if got := Unset.Join(p); got != p {
+			t.Errorf("⊥ ⊔ %v = %v, want %v", p, got, p)
+		}
+		if got := p.Join(Unset); got != p {
+			t.Errorf("%v ⊔ ⊥ = %v, want %v", p, got, p)
+		}
+	}
+}
+
+func TestJoinTopAbsorbs(t *testing.T) {
+	for _, p := range latticeSamples {
+		if got := Unknown.Join(p); got != Unknown {
+			t.Errorf("⊤ ⊔ %v = %v, want ⊤", p, got)
+		}
+		if got := p.Join(Unknown); got != Unknown {
+			t.Errorf("%v ⊔ ⊤ = %v, want ⊤", p, got)
+		}
+	}
+}
+
+func TestOrdered(t *testing.T) {
+	cases := []struct {
+		p, q Phase
+		want bool
+	}{
+		{Known(0), Known(1), true},
+		{Known(1), Known(0), true},
+		{Known(2), Known(41), true},
+		{Known(3), Known(3), false}, // same phase: may run in parallel
+		{Unset, Known(1), false},    // no fact about ⊥
+		{Known(1), Unset, false},
+		{Unknown, Known(1), false}, // no fact about ⊤
+		{Known(1), Unknown, false},
+		{Unknown, Unknown, false},
+		{Unset, Unset, false},
+		{Unset, Unknown, false},
+	}
+	for _, c := range cases {
+		if got := c.p.Ordered(c.q); got != c.want {
+			t.Errorf("Ordered(%v, %v) = %v, want %v", c.p, c.q, got, c.want)
+		}
+		// Ordered is symmetric by construction.
+		if got := c.q.Ordered(c.p); got != c.want {
+			t.Errorf("Ordered(%v, %v) = %v, want %v", c.q, c.p, got, c.want)
+		}
+	}
+}
+
+// Ordered must be consistent with Join: provably ordered phases are
+// exactly the known, distinct pairs, which are also exactly the known
+// pairs whose join is ⊤.
+func TestOrderedAgreesWithJoin(t *testing.T) {
+	for _, p := range latticeSamples {
+		for _, q := range latticeSamples {
+			_, pk := p.IsKnown()
+			_, qk := q.IsKnown()
+			want := pk && qk && p.Join(q) == Unknown
+			if got := p.Ordered(q); got != want {
+				t.Errorf("Ordered(%v, %v) = %v, want %v", p, q, got, want)
+			}
+		}
+	}
+}

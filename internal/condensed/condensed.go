@@ -3,7 +3,10 @@
 // ten node kinds — end, async, call, finish, if, loop, method,
 // return, skip, switch — produced from X10 source by internal/x10,
 // plus the lowering from condensed form to core FX10 that the
-// analysis pipeline consumes.
+// analysis pipeline consumes. The Section 8 clocks extension adds an
+// eleventh kind, advance (the clock barrier), and a Clocked flag on
+// async nodes; both survive lowering so the static phase analysis
+// sees them.
 //
 // Lowering is one FX10 instruction per non-End node, which reproduces
 // the paper's accounting where the number of Slabels (and level-2)
@@ -19,6 +22,8 @@
 //   - if and switch lower to a skip carrying the node's label
 //     followed by the branches in sequence, which conservatively
 //     lets the analysis see every branch;
+//   - advance lowers to the core next barrier, and a clocked async
+//     lowers to a clocked async;
 //   - end nodes are placeholders and lower to nothing.
 package condensed
 
@@ -28,10 +33,13 @@ import (
 	"fx10/internal/syntax"
 )
 
-// Kind enumerates the ten condensed node kinds of Figure 7.
+// Kind enumerates the ten condensed node kinds of Figure 7, plus
+// Advance, the Section 8 clock barrier (X10's `next`/`advance`).
 type Kind int
 
-// Node kinds, alphabetically as in Figure 7's columns.
+// Node kinds, alphabetically as in Figure 7's columns; the clocks
+// extension's Advance comes after, keeping Figure 7's column indices
+// stable.
 const (
 	End Kind = iota
 	Async
@@ -43,10 +51,11 @@ const (
 	Return
 	Skip
 	Switch
+	Advance
 	numKinds
 )
 
-var kindNames = [...]string{"end", "async", "call", "finish", "if", "loop", "method", "return", "skip", "switch"}
+var kindNames = [...]string{"end", "async", "call", "finish", "if", "loop", "method", "return", "skip", "switch", "advance"}
 
 func (k Kind) String() string {
 	if k < 0 || k >= numKinds {
@@ -71,6 +80,9 @@ type Node struct {
 	// Place is async's target place; non-zero marks a place-switching
 	// async.
 	Place int
+	// Clocked marks an async whose activity is registered on the
+	// implicit clock (Section 8 clocks extension).
+	Clocked bool
 }
 
 // MethodDecl is one condensed method. Every block, including the
@@ -230,13 +242,22 @@ func lowerBlock(b *syntax.Builder, block []*Node) []syntax.Instr {
 			// Placeholder: no instruction.
 		case Skip, Return:
 			out = append(out, b.Skip(n.Label))
+		case Advance:
+			out = append(out, b.Next(n.Label))
 		case Call:
 			out = append(out, b.Call(n.Label, n.Callee))
 		case Async:
 			body := nonEmpty(b, lowerBlock(b, n.Body))
-			if n.Place != 0 {
+			switch {
+			case n.Clocked:
+				instr := b.ClockedAsync(n.Label, b.Stmts(body...))
+				if n.Place != 0 {
+					instr.(*syntax.Async).Place = n.Place
+				}
+				out = append(out, instr)
+			case n.Place != 0:
 				out = append(out, b.AsyncAt(n.Label, n.Place, b.Stmts(body...)))
-			} else {
+			default:
 				out = append(out, b.Async(n.Label, b.Stmts(body...)))
 			}
 		case Finish:

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"fx10/internal/labels"
+	"fx10/internal/parser"
 	"fx10/internal/progen"
 	"fx10/internal/syntax"
 )
@@ -152,6 +153,77 @@ func TestSolveDeltaStrictSubset(t *testing.T) {
 	}
 	if !got.ValuationEqual(sys.Solve(Options{Worklist: true})) {
 		t.Fatal("delta valuation differs from scratch")
+	}
+}
+
+// TestSolveDeltaPhaseShift: an edit that only touches main can change
+// an untouched helper's clock phases — here a second call site at a
+// different phase joins the helper's entry phase to ⊤, un-pruning
+// pairs the previous solve dropped. Reusing the helper's stale pruned
+// values would be unsound; the phase-agreement check must pull it into
+// the dirty closure and reproduce the scratch solution bit for bit.
+func TestSolveDeltaPhaseShift(t *testing.T) {
+	const helper = `
+void work() {
+  WC: clocked async {
+    WA: a[0] = 1;
+    WN: next;
+    WB: a[1] = 2;
+  }
+  WD: a[2] = 3;
+  WM: next;
+  WE: a[3] = 4;
+}
+`
+	base := parser.MustParse("array 8;\n" + helper + `
+void main() {
+  F1: work();
+}
+`)
+	edited := parser.MustParse("array 8;\n" + helper + `
+void main() {
+  F1: work();
+  MN: next;
+  F2: work();
+}
+`)
+
+	// Vacuity guard: the phase shift really changes the helper's pairs.
+	// At a single phase-0 call site WB (phase 1) and WD (phase 0) are
+	// serialized by the barrier; with the entry phase joined to ⊤ the
+	// pair must come back.
+	baseM := deltaSys(base, ContextSensitive).Solve(Options{}).MainM()
+	wb, _ := base.LabelByName("WB")
+	wd, _ := base.LabelByName("WD")
+	if baseM.Has(int(wb), int(wd)) {
+		t.Fatal("base solve did not prune the cross-phase pair (WB, WD)")
+	}
+	editM := deltaSys(edited, ContextSensitive).Solve(Options{}).MainM()
+	wb2, _ := edited.LabelByName("WB")
+	wd2, _ := edited.LabelByName("WD")
+	if !editM.Has(int(wb2), int(wd2)) {
+		t.Fatal("edited scratch solve should keep (WB, WD): helper entry phase is ⊤")
+	}
+
+	for _, mode := range []Mode{ContextSensitive, ContextInsensitive} {
+		prevSol := deltaSys(base, mode).Solve(Options{Worklist: true})
+		sys := deltaSys(edited, mode)
+		got, info := sys.SolveDelta(prevSol, dirtyByHash(base, edited))
+		want := sys.Solve(Options{Worklist: true})
+		if !got.ValuationEqual(want) {
+			t.Fatalf("%v: delta valuation differs after phase-shifting edit (full=%v, closure=%v)",
+				mode, info.Full, info.Closure)
+		}
+		work, _ := edited.MethodIndex("work")
+		inClosure := false
+		for _, mi := range info.Closure {
+			if mi == work {
+				inClosure = true
+			}
+		}
+		if !info.Full && !inClosure {
+			t.Fatalf("%v: helper with shifted phases was reused (closure=%v)", mode, info.Closure)
+		}
 	}
 }
 

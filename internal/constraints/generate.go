@@ -1,6 +1,7 @@
 package constraints
 
 import (
+	"fx10/internal/clocks"
 	"fx10/internal/intset"
 	"fx10/internal/labels"
 	"fx10/internal/syntax"
@@ -72,6 +73,16 @@ func Generate(in *labels.Info, mode Mode) *System {
 		s.L2s = append(s.L2s, L2{LHS: s.MethodM[i], Pairs: []PairVar{s.StmtM[m.Body]}})
 	}
 	s.buildPartition()
+
+	// Section 8 clocks: programs that use the clock get the static
+	// phase analysis attached, and the solvers filter symcross through
+	// its codes — two labels at known, different phases are serialized
+	// by the barrier, so their pair never enters the level-2 system.
+	// Clock-free programs pay nothing (nil slice disables the filter).
+	if p.UsesClocks() {
+		s.Phases = clocks.ComputePhases(p)
+		s.PhaseCode = s.Phases.Codes()
+	}
 	return s
 }
 

@@ -38,14 +38,31 @@ func (b pairBag) unionWith(o pairBag) bool {
 	return changed
 }
 
-// crossSym adds (A × B) ∪ (B × A) and reports change.
-func (b pairBag) crossSym(a, bb *intset.Set) bool {
+// crossSym adds (A × B) ∪ (B × A) and reports change, skipping pairs
+// the phase analysis proves ordered: when phase[i] and phase[j] are
+// both known and different, the single clock serializes them and they
+// can never run in parallel. phase is nil for clock-free programs
+// (no filtering). This is the ONE place pairs enter the level-2
+// system — level 2 is otherwise pure union — so filtering here makes
+// every solving strategy (and the delta solver) compute exactly the
+// phase-refined least solution, preserving cross-strategy
+// bit-identity.
+func (b pairBag) crossSym(a, bb *intset.Set, phase []int32) bool {
 	if a.Empty() || bb.Empty() {
 		return false // both products are empty (O(1) on cached counts)
 	}
 	changed := false
 	a.Each(func(i int) {
+		pi := int32(-1)
+		if phase != nil {
+			pi = phase[i]
+		}
 		bb.Each(func(j int) {
+			if pi >= 0 {
+				if pj := phase[j]; pj >= 0 && pj != pi {
+					return // provably ordered by the clock
+				}
+			}
 			if b.add(i, j) {
 				changed = true
 			}

@@ -209,7 +209,7 @@ func (sol *Solution) l2Pass(evalCrosses bool) bool {
 		lhs := sol.pairVals[c.LHS]
 		if evalCrosses {
 			for _, ct := range c.Crosses {
-				if lhs.crossSym(ct.Const, sol.setVals[ct.Var]) {
+				if lhs.crossSym(ct.Const, sol.setVals[ct.Var], s.PhaseCode) {
 					changed = true
 				}
 			}
@@ -231,7 +231,7 @@ func (sol *Solution) solveL2() {
 		sol.checkCancel()
 		lhs := sol.pairVals[c.LHS]
 		for _, ct := range c.Crosses {
-			lhs.crossSym(ct.Const, sol.setVals[ct.Var])
+			lhs.crossSym(ct.Const, sol.setVals[ct.Var], sol.sys.PhaseCode)
 		}
 	}
 	for {

@@ -131,6 +131,19 @@ func (s *System) solveDelta(ctx context.Context, prev *Solution, dirty []MethodI
 				grew = true
 				continue
 			}
+			// Phase agreement: the previous pair values were pruned
+			// under the previous program's phase codes, so a method is
+			// reusable only if every one of its labels keeps the same
+			// abstract clock phase. An edit elsewhere (say an extra
+			// next in main) can shift a structurally untouched helper's
+			// phases; that helper joins the dirty set here and the
+			// closure re-derives everything whose pruning could differ.
+			if (s.PhaseCode != nil || prevSys.PhaseCode != nil) &&
+				!phasesAgree(p.Methods[mi].Body, prevP.Methods[pj].Body, s.PhaseCode, prevSys.PhaseCode) {
+				isDirty[mi] = true
+				grew = true
+				continue
+			}
 			identSelf[mi] = ident
 		}
 		if !grew {
@@ -420,6 +433,33 @@ func correspond(a, b *syntax.Stmt, remap []int, ident *bool) bool {
 	return a == nil && b == nil
 }
 
+// phaseAt reads a label's phase code, treating a nil slice (clock-free
+// system) as all-unknown.
+func phaseAt(code []int32, l syntax.Label) int32 {
+	if code == nil {
+		return -1
+	}
+	return code[l]
+}
+
+// phasesAgree walks two already-corresponding bodies in lockstep and
+// reports whether every label carries the same abstract phase code in
+// both systems. Shapes are known equal (correspond succeeded), so the
+// nested bodies line up.
+func phasesAgree(a, b *syntax.Stmt, newCode, prevCode []int32) bool {
+	for ; a != nil && b != nil; a, b = a.Next, b.Next {
+		if phaseAt(newCode, a.Instr.Label()) != phaseAt(prevCode, b.Instr.Label()) {
+			return false
+		}
+		if ba := syntax.Body(a.Instr); ba != nil {
+			if !phasesAgree(ba, syntax.Body(b.Instr), newCode, prevCode) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // remapSetInto translates every element of src through remap into
 // dst, reporting false if any element is unmapped.
 func remapSetInto(dst *intset.Set, src *intset.Set, remap []int) bool {
@@ -549,7 +589,7 @@ func (sol *Solution) solveL2Restricted(inClosure []bool) {
 	for pos, ci := range active {
 		lhs := sol.pairVals[s.L2s[ci].LHS]
 		for _, ct := range s.L2s[ci].Crosses {
-			lhs.crossSym(ct.Const, sol.setVals[ct.Var])
+			lhs.crossSym(ct.Const, sol.setVals[ct.Var], s.PhaseCode)
 		}
 		queue.push(int32(pos))
 		inQueue[pos] = true

@@ -18,6 +18,7 @@ import (
 	"sort"
 	"strings"
 
+	"fx10/internal/clocks"
 	"fx10/internal/intset"
 	"fx10/internal/labels"
 	"fx10/internal/syntax"
@@ -133,6 +134,16 @@ type System struct {
 	SetVarOwner  []MethodID // owner of each SetVar
 	PairVarOwner []MethodID // owner of each PairVar
 	Calls        *CallGraph
+
+	// Phases is the static clock-phase analysis of the program, set by
+	// Generate iff the program uses clocks (Section 8); nil otherwise.
+	// PhaseCode is its flattened form (clocks.PhaseInfo.Codes): one
+	// int32 per label, the concrete phase for Known labels and -1 for
+	// ⊥/⊤. The solvers consult it in crossSym — two labels with
+	// non-negative different codes are barrier-ordered, so their pair
+	// never enters the level-2 system.
+	Phases    *clocks.PhaseInfo
+	PhaseCode []int32
 
 	methodSetVars  [][]SetVar
 	methodPairVars [][]PairVar

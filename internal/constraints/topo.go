@@ -370,7 +370,7 @@ func (sol *Solution) solveTopoL2() {
 			sol.checkCancel()
 			c := &s.L2s[ci]
 			for _, ct := range c.Crosses {
-				bag.crossSym(ct.Const, sol.setVals[ct.Var])
+				bag.crossSym(ct.Const, sol.setVals[ct.Var], s.PhaseCode)
 			}
 			for _, v := range c.Pairs {
 				if comp[v] != cid {

@@ -161,7 +161,7 @@ func (sol *Solution) solveL2Worklist() {
 		sol.checkCancel()
 		lhs := sol.pairVals[c.LHS]
 		for _, ct := range c.Crosses {
-			lhs.crossSym(ct.Const, sol.setVals[ct.Var])
+			lhs.crossSym(ct.Const, sol.setVals[ct.Var], s.PhaseCode)
 		}
 		queue.push(int32(ci))
 		inQueue[ci] = true

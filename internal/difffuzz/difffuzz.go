@@ -37,6 +37,7 @@ import (
 	"strings"
 	"sync"
 
+	"fx10/internal/clocks"
 	"fx10/internal/constraints"
 	"fx10/internal/engine"
 	"fx10/internal/explore"
@@ -141,6 +142,15 @@ const (
 	// KindProgress: the explorer visited a state violating Theorem 1
 	// (a well-typed non-√ tree with no enabled step).
 	KindProgress Kind = "progress-violation"
+	// KindClockDeadlock: the clocked explorer found a deadlocked
+	// interleaving. The clocked generator's rules make the corpus
+	// deadlock-free by construction, so this is a generator or
+	// semantics bug.
+	KindClockDeadlock Kind = "clock-deadlock"
+	// KindClockError: an interleaving hit a dynamic clock-use error
+	// (next on an unregistered activity), which progen and
+	// syntax.CheckClockUse rule out statically.
+	KindClockError Kind = "clock-use-error"
 	// KindError: an analysis or runtime call failed outright
 	// (including recovered panics).
 	KindError Kind = "error"
@@ -201,9 +211,17 @@ type Config struct {
 	// N is the number of programs per base seed (default 100).
 	N int
 	// Gen shapes the generated programs. The zero value selects
-	// progen.Finite(), whose programs always terminate and have
-	// finite state spaces.
+	// progen.Finite() (or progen.ClockedFinite() when Clocked is set),
+	// whose programs always terminate and have finite state spaces.
 	Gen progen.Config
+	// Clocked selects the clocked corpus: the default Gen becomes
+	// progen.ClockedFinite(). Independently of this flag, any program
+	// that uses clocks is checked against the barrier-aware exact
+	// relation (clocks.Explore) and observed pairs come from the
+	// clocked reference interpreter — the clock-erased relations are
+	// strict supersets and would misreport the analysis' phase pruning
+	// as a soundness bug.
+	Clocked bool
 	// MaxStates bounds the exhaustive exploration per program
 	// (default 200_000). Exceeding it is not a violation: the exact
 	// relation is then a lower bound and the observed ⊆ exact check
@@ -243,7 +261,11 @@ func (cfg Config) withDefaults() Config {
 		cfg.N = 100
 	}
 	if (cfg.Gen == progen.Config{}) {
-		cfg.Gen = progen.Finite()
+		if cfg.Clocked {
+			cfg.Gen = progen.ClockedFinite()
+		} else {
+			cfg.Gen = progen.Finite()
+		}
 	}
 	if cfg.MaxStates <= 0 {
 		cfg.MaxStates = 200_000
@@ -392,31 +414,65 @@ func checkProgram(cfg Config, p *syntax.Program, seed int64) (stat ProgramStat, 
 		vs = append(vs, checkIncremental(cfg, p, seed)...)
 	}
 
-	// Exact relation by exhaustive interleaving search.
-	exact := explore.MHP(p, nil, cfg.MaxStates)
-	stat.States = exact.States
-	stat.Complete = exact.Complete
-	stat.Exact = unordered(exact.MHP)
-	if exact.ProgressViolations > 0 {
-		fail(KindProgress, "%d stuck states among %d visited", exact.ProgressViolations, exact.States)
+	// Exact relation by exhaustive interleaving search — under the
+	// full barrier semantics for clocked programs (the erased relation
+	// is a strict superset and would misreport the analysis' phase
+	// pruning as a soundness bug).
+	clocked := p.UsesClocks()
+	var exactM *intset.PairSet
+	var complete bool
+	if clocked {
+		res := clocks.Explore(p, nil, cfg.MaxStates)
+		stat.States = res.States
+		stat.Complete = res.Complete
+		exactM, complete = res.MHP, res.Complete
+		// Deadlock states and clock errors are local facts about
+		// visited states: real even when exploration is truncated.
+		if res.ClockErrors > 0 {
+			fail(KindClockError, "%d interleavings hit a dynamic clock-use error among %d states",
+				res.ClockErrors, res.States)
+		}
+		if res.Deadlocks > 0 {
+			fail(KindClockDeadlock, "%d deadlocked interleavings among %d states", res.Deadlocks, res.States)
+		}
+	} else {
+		res := explore.MHP(p, nil, cfg.MaxStates)
+		stat.States = res.States
+		stat.Complete = res.Complete
+		exactM, complete = res.MHP, res.Complete
+		if res.ProgressViolations > 0 {
+			fail(KindProgress, "%d stuck states among %d visited", res.ProgressViolations, res.States)
+		}
 	}
+	stat.Exact = unordered(exactM)
 	// Even a truncated exploration only visits reachable states, so
 	// every exact pair must be in the static relation regardless of
 	// Complete (Theorem 2's containment direction).
-	if !exact.MHP.SubsetOf(static) {
-		i, j, _ := firstMissing(exact.MHP, static)
+	if !exactM.SubsetOf(static) {
+		i, j, _ := firstMissing(exactM, static)
 		fail(KindExactNotStatic, "exact pair (%s, %s) missing from static M (exact %d ⊄ static %d unordered pairs)",
 			p.LabelName(syntax.Label(i)), p.LabelName(syntax.Label(j)), stat.Exact, stat.Static)
 	}
-	if exact.Complete {
+	if complete {
 		stat.Precision = stat.Static - stat.Exact
 	}
 
-	// Observed relation: union over randomized recorded executions.
-	// Alternate the goroutine bound to also exercise the
-	// inline-degrade path.
+	// Observed relation: union over randomized executions — the
+	// clocked reference interpreter for clocked programs, the recorded
+	// goroutine runtime (which erases clocks) otherwise. For the
+	// goroutine runtime, alternate the goroutine bound to also
+	// exercise the inline-degrade path.
 	observed := intset.NewPairs(p.NumLabels())
 	for run := 0; run < cfg.Runs; run++ {
+		if clocked {
+			res, err := clocks.Run(p, nil, seed+int64(run)*7919, int(cfg.MaxSteps))
+			if err != nil && !errors.Is(err, clocks.ErrFuel) {
+				fail(KindError, "clocked interpreter run %d: %v", run, err)
+				return stat, vs
+			}
+			observed.UnionWith(res.Pairs)
+			continue
+		}
 		opts := fxruntime.Options{
 			RecordParallel: true,
 			Seed:           seed + int64(run)*7919,
@@ -439,8 +495,8 @@ func checkProgram(cfg Config, p *syntax.Program, seed int64) (stat ProgramStat, 
 		fail(KindObservedNotStatic, "observed pair (%s, %s) missing from static M",
 			p.LabelName(syntax.Label(i)), p.LabelName(syntax.Label(j)))
 	}
-	if exact.Complete && !observed.SubsetOf(exact.MHP) {
-		i, j, _ := firstMissing(observed, exact.MHP)
+	if complete && !observed.SubsetOf(exactM) {
+		i, j, _ := firstMissing(observed, exactM)
 		fail(KindObservedNotExact, "observed pair (%s, %s) not in the complete exact relation",
 			p.LabelName(syntax.Label(i)), p.LabelName(syntax.Label(j)))
 	}

@@ -54,6 +54,40 @@ func TestSweepClean(t *testing.T) {
 	}
 }
 
+// TestSweepCleanClocked runs the differential property on the clocked
+// corpus: observed (clocked interpreter) ⊆ exact (barrier-aware
+// explorer) ⊆ static (phase-aware analysis), with no deadlocks or
+// dynamic clock-use errors — the generator promises a clean corpus —
+// and bit-identical answers across strategies and delta re-analysis.
+func TestSweepCleanClocked(t *testing.T) {
+	cfg := Config{Seeds: []int64{11}, N: 60, Runs: 2, MaxStates: 100_000, Clocked: true, Incremental: true}
+	if testing.Short() {
+		cfg.N = 15
+	}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s\n%s", v, syntax.Print(v.Program))
+	}
+	if rep.Complete == 0 {
+		t.Error("no program explored completely; state budget too low for the generator config")
+	}
+	var exact, static, observed int
+	for _, s := range rep.Stats {
+		exact += s.Exact
+		static += s.Static
+		observed += s.Observed
+		if s.Complete && s.Precision < 0 {
+			t.Errorf("seed %d: negative precision %d (static %d < exact %d)", s.Seed, s.Precision, s.Static, s.Exact)
+		}
+	}
+	if observed == 0 || exact == 0 || static == 0 {
+		t.Errorf("degenerate sweep: observed=%d exact=%d static=%d", observed, exact, static)
+	}
+}
+
 // TestMutationSelfTest proves the harness catches soundness bugs: an
 // engine wrapper that drops pairs from M must be detected, and the
 // minimizer must shrink a witness to at most 10 instructions.

@@ -103,6 +103,15 @@ func (e *Engine) storeSummaries(p *syntax.Program, sol *constraints.Solution, mo
 	if e.summaries == nil || mode != constraints.ContextSensitive {
 		return
 	}
+	// Clocked programs are excluded from the summary tier entirely: the
+	// phase analysis prunes a method's mᵢ using phase codes that depend
+	// on the whole program (the entry phase flows in from call sites),
+	// which the per-method content hash deliberately ignores. Two
+	// content-identical methods in different clocked programs can have
+	// different pruned summaries.
+	if p.UsesClocks() {
+		return
+	}
 	for mi := range p.Methods {
 		hash := p.MethodHash(mi)
 		if e.summaries.contains(hash) {
@@ -153,7 +162,7 @@ func summaryToCanonical(sum types.Summary, toCanon map[int]int, k int) (types.Su
 // method, and returns that method's summary translated to p's global
 // labels. The caller owns the returned summary.
 func (e *Engine) CachedSummary(p *syntax.Program, mi int) (types.Summary, bool) {
-	if e.summaries == nil {
+	if e.summaries == nil || p.UsesClocks() {
 		return types.Summary{}, false
 	}
 	entry, ok := e.summaries.get(p.MethodHash(mi))

@@ -9,6 +9,7 @@ package mhp
 import (
 	"sort"
 
+	"fx10/internal/clocks"
 	"fx10/internal/constraints"
 	"fx10/internal/engine"
 	"fx10/internal/explore"
@@ -339,14 +340,26 @@ type FalsePositiveReport struct {
 }
 
 // CheckFalsePositives explores up to maxStates states and classifies
-// the inferred async-body pairs against the exact relation.
+// the inferred async-body pairs against the exact relation. Clocked
+// programs are explored under the real barrier semantics
+// (clocks.Explore): the analysis prunes phase-ordered pairs, so the
+// erased exact relation — a strict superset of the clocked one — would
+// wrongly flag the pruning as a soundness violation.
 func (r *Result) CheckFalsePositives(a0 []int64, maxStates int) FalsePositiveReport {
-	res := explore.MHPWithInfo(r.Info, r.Program, a0, maxStates)
+	var exactM *intset.PairSet
+	var complete bool
+	if r.Program.UsesClocks() {
+		res := clocks.Explore(r.Program, a0, maxStates)
+		exactM, complete = res.MHP, res.Complete
+	} else {
+		res := explore.MHPWithInfo(r.Info, r.Program, a0, maxStates)
+		exactM, complete = res.MHP, res.Complete
+	}
 	rep := FalsePositiveReport{
-		Complete:       res.Complete,
-		ExactPairs:     asyncBodyPairs(r.Program, r.Info, res.MHP),
+		Complete:       complete,
+		ExactPairs:     asyncBodyPairs(r.Program, r.Info, exactM),
 		InferredPairs:  r.AsyncBodyPairs(),
-		SoundnessHolds: !res.Complete || res.MHP.SubsetOf(r.M),
+		SoundnessHolds: !complete || exactM.SubsetOf(r.M),
 	}
 	exact := map[[2]syntax.Label]bool{}
 	for _, pr := range rep.ExactPairs {

@@ -33,6 +33,27 @@ type Report struct {
 	PairCounts  PairCounts   `json:"asyncBodyPairCounts"`
 	Races       []RaceJ      `json:"raceCandidates"`
 	Summaries   []SummaryJ   `json:"methodSummaries"`
+	// Clocks is present iff the program uses the Section 8 clock
+	// extension (a next/advance or a clocked async): the inferred
+	// per-label phases and how many pairs the barrier pruned. Absent
+	// for clock-free programs, whose report bytes are unchanged.
+	Clocks *ClocksJ `json:"clocks,omitempty"`
+}
+
+// ClocksJ reports the static clock-phase analysis: every label's
+// abstract phase and the count of unordered label pairs the
+// phase-aware solvers pruned from the MHP relation (pairs a
+// clock-blind analysis would report).
+type ClocksJ struct {
+	Phases      []LabelPhaseJ `json:"labelPhases"`
+	PrunedPairs int           `json:"prunedPairs"`
+}
+
+// LabelPhaseJ is one label's inferred clock phase: a concrete phase
+// number, or -1 when the phase is statically unknown (⊤).
+type LabelPhaseJ struct {
+	Label string `json:"label"`
+	Phase int    `json:"phase"`
 }
 
 // Constraints reports the Figure 6 constraint counts.
@@ -127,6 +148,19 @@ func (r *Result) Report() Report {
 		rep.Races = append(rep.Races, RaceJ{
 			A: name(rc.L1), B: name(rc.L2), Index: rc.Index, WriteWrite: rc.WriteWrite,
 		})
+	}
+
+	if codes := r.Sys.PhaseCode; codes != nil {
+		cl := &ClocksJ{}
+		for l, c := range codes {
+			cl.Phases = append(cl.Phases, LabelPhaseJ{Label: name(syntax.Label(l)), Phase: int(c)})
+		}
+		r.Sol.ClockPrunedMainPairs().Each(func(i, j int) {
+			if i <= j {
+				cl.PrunedPairs++
+			}
+		})
+		rep.Clocks = cl
 	}
 
 	env := r.Env

@@ -1,0 +1,58 @@
+package parser
+
+import (
+	"testing"
+
+	"fx10/internal/syntax"
+)
+
+// "advance" is accepted as a synonym for "next" and canonicalizes to
+// it: the printed form uses "next", and reparsing is a fixpoint.
+func TestAdvanceIsNextSynonym(t *testing.T) {
+	p := MustParse(`
+array 4;
+void main() {
+  C: clocked async {
+    A: advance;
+  }
+  N: next;
+}
+`)
+	a, ok := p.LabelByName("A")
+	if !ok {
+		t.Fatal("label A missing")
+	}
+	if _, isNext := p.Labels[a].Instr.(*syntax.Next); !isNext {
+		t.Fatalf("advance parsed as %T, want *syntax.Next", p.Labels[a].Instr)
+	}
+
+	q := MustParse(`
+array 4;
+void main() {
+  C: clocked async {
+    A: next;
+  }
+  N: next;
+}
+`)
+	if syntax.Print(p) != syntax.Print(q) {
+		t.Fatalf("advance and next print differently:\n%s\nvs\n%s",
+			syntax.Print(p), syntax.Print(q))
+	}
+
+	printed := syntax.Print(p)
+	r, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if syntax.Print(r) != printed {
+		t.Fatalf("advance print/parse not a fixpoint")
+	}
+}
+
+// "advance" is reserved: it cannot be a label or method name.
+func TestAdvanceIsKeyword(t *testing.T) {
+	if _, err := Parse("array 2;\nvoid advance() { skip; }\nvoid main() { skip; }"); err == nil {
+		t.Fatal("parser accepted 'advance' as a method name")
+	}
+}

@@ -10,8 +10,9 @@
 //	instr    := "skip" ";"
 //	          | "a" "[" INT "]" "=" expr ";"
 //	          | "while" "(" "a" "[" INT "]" "!=" "0" ")" block
-//	          | "async" ["at" "(" INT ")"] block
+//	          | ["clocked"] "async" ["at" "(" INT ")"] block
 //	          | "finish" block
+//	          | ("next" | "advance") ";"
 //	          | IDENT "(" ")" ";"
 //	expr     := INT | "a" "[" INT "]" "+" "1"
 //
@@ -52,7 +53,7 @@ const (
 var keywords = map[string]bool{
 	"array": true, "void": true, "skip": true, "while": true,
 	"async": true, "finish": true, "at": true, "a": true,
-	"clocked": true, "next": true,
+	"clocked": true, "next": true, "advance": true,
 }
 
 // token is one lexical token with its source position.

@@ -236,7 +236,9 @@ func (p *parser) parseStmt() (syntax.Instr, error) {
 		}
 		return p.b.While(label, d, body), nil
 
-	case p.atKeyword("next"):
+	case p.atKeyword("next"), p.atKeyword("advance"):
+		// "advance" is X10's spelling of the clock barrier; the
+		// analyzed subset accepts it as a synonym for "next".
 		if err := p.advance(); err != nil {
 			return nil, err
 		}

@@ -39,6 +39,15 @@ type Config struct {
 	// Asyncs, Finishes, Calls individually toggle those instruction
 	// kinds (all true gives the full calculus).
 	Asyncs, Finishes, Calls bool
+	// Clocks enables clocked asyncs and next barriers, under rules
+	// that keep every generated program deadlock-free and free of
+	// dynamic clock-use errors: clock constructs appear only in main's
+	// method (helpers stay clock-free), never inside a finish body (a
+	// registered activity join-blocked over a parked clocked child is
+	// the classic clocked-finish deadlock), and next only where the
+	// executing activity is registered (main's own thread or a clocked
+	// async body, but not an unclocked async body).
+	Clocks bool
 }
 
 // Default returns a small full-calculus configuration.
@@ -57,6 +66,15 @@ func Finite() Config {
 		ArrayLen: 3, Methods: 2, MaxDepth: 2, MaxSeq: 2,
 		Whiles: false, Asyncs: true, Finishes: true, Calls: true,
 	}
+}
+
+// ClockedFinite returns a Finite-style configuration with clocked
+// asyncs and next barriers enabled — finite state spaces (the clocked
+// explorer is exhaustive on these) and deadlock-free by construction.
+func ClockedFinite() Config {
+	cfg := Finite()
+	cfg.Clocks = true
+	return cfg
 }
 
 // Generate builds a random program from the config and seed.
@@ -80,12 +98,33 @@ func Generate(seed int64, cfg Config) *syntax.Program {
 	}
 	for i := cfg.Methods - 1; i >= 0; i-- {
 		g.callable = names[i+1:]
-		body := g.stmt(cfg.MaxDepth)
+		// Helpers are always clock-free: a next in a helper would be a
+		// dynamic clock-use error whenever the caller is unregistered.
+		body := g.stmt(cfg.MaxDepth, clockCtx{})
 		g.b.MustAddMethod(names[i], body)
 	}
 	g.callable = names
-	g.b.MustAddMethod("main", g.stmt(cfg.MaxDepth))
+	main := g.stmt(cfg.MaxDepth, clockCtx{mayClock: cfg.Clocks, registered: true})
+	if cfg.Clocks {
+		// Anchor main with a trailing result write, as real clocked
+		// kernels end with a read-back. Analytically it pins a label at
+		// a known phase after every spawn, so any split-phase async
+		// body overlapping it yields cross-phase pairs — the shape the
+		// phase-aware analysis exists to prune.
+		main = syntax.Seq(main, g.b.Stmts(g.b.Assign("", g.idx(), g.expr())))
+	}
+	g.b.MustAddMethod("main", main)
 	return g.b.MustProgram()
+}
+
+// clockCtx tracks where clock constructs are allowed while descending
+// into nested bodies. mayClock is true only inside main's method and
+// outside any finish body; registered is true while the generated code
+// runs on a clock-registered activity (main's own thread, or a clocked
+// async body), which is where next is legal.
+type clockCtx struct {
+	mayClock   bool
+	registered bool
 }
 
 type gen struct {
@@ -96,18 +135,18 @@ type gen struct {
 }
 
 // stmt generates a non-empty statement sequence.
-func (g *gen) stmt(depth int) *syntax.Stmt {
+func (g *gen) stmt(depth int, cc clockCtx) *syntax.Stmt {
 	n := 1 + g.rng.Intn(g.cfg.MaxSeq)
 	instrs := make([]syntax.Instr, 0, n)
 	for i := 0; i < n; i++ {
-		instrs = append(instrs, g.instr(depth)...)
+		instrs = append(instrs, g.instr(depth, cc)...)
 	}
 	return g.b.Stmts(instrs...)
 }
 
 // instr generates one instruction (or a small idiom of several, for
 // while loops).
-func (g *gen) instr(depth int) []syntax.Instr {
+func (g *gen) instr(depth int, cc clockCtx) []syntax.Instr {
 	kinds := []string{"skip", "assign"}
 	if depth > 0 {
 		if g.cfg.Asyncs {
@@ -119,6 +158,12 @@ func (g *gen) instr(depth int) []syntax.Instr {
 		if g.cfg.Whiles {
 			kinds = append(kinds, "while")
 		}
+		if cc.mayClock {
+			kinds = append(kinds, "clockedasync", "clockedasync")
+		}
+	}
+	if cc.mayClock && cc.registered {
+		kinds = append(kinds, "next")
 	}
 	if g.cfg.Calls && len(g.callable) > 0 {
 		kinds = append(kinds, "call")
@@ -129,13 +174,31 @@ func (g *gen) instr(depth int) []syntax.Instr {
 	case "assign":
 		return []syntax.Instr{g.b.Assign("", g.idx(), g.expr())}
 	case "async":
-		return []syntax.Instr{g.b.Async("", g.stmt(depth-1))}
+		// An unclocked async body runs unregistered: no next inside,
+		// though clocked grandchildren may re-register.
+		return []syntax.Instr{g.b.Async("", g.stmt(depth-1, clockCtx{mayClock: cc.mayClock}))}
+	case "clockedasync":
+		// The body is registered regardless of the spawner. Mostly
+		// generate the split-phase idiom — the body straddles an
+		// internal barrier, landing its labels on distinct phases (the
+		// shape whose cross-phase pairs the analysis can prune); the
+		// rest stay barrier-free for coverage of plain clocked spawns.
+		inner := clockCtx{mayClock: cc.mayClock, registered: true}
+		body := g.stmt(depth-1, inner)
+		if g.rng.Intn(6) != 0 {
+			body = syntax.Seq(body, syntax.Seq(g.b.Stmts(g.b.Next("")), g.stmt(depth-1, inner)))
+		}
+		return []syntax.Instr{g.b.ClockedAsync("", body)}
+	case "next":
+		return []syntax.Instr{g.b.Next("")}
 	case "finish":
-		return []syntax.Instr{g.b.Finish("", g.stmt(depth-1))}
+		// No clock constructs under a finish: a registered activity
+		// join-blocked while a clocked child parks would deadlock.
+		return []syntax.Instr{g.b.Finish("", g.stmt(depth-1, clockCtx{registered: cc.registered}))}
 	case "while":
 		// Idiom: arm the guard, loop with a body that clears it last.
 		d := g.idx()
-		body := syntax.Seq(g.stmt(depth-1), g.b.Stmts(g.b.Assign("", d, syntax.Const{C: 0})))
+		body := syntax.Seq(g.stmt(depth-1, cc), g.b.Stmts(g.b.Assign("", d, syntax.Const{C: 0})))
 		return []syntax.Instr{
 			g.b.Assign("", d, syntax.Const{C: 1}),
 			g.b.While("", d, body),

@@ -241,6 +241,12 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusUnprocessableEntity, "parse", err.Error())
 		return
 	}
+	if err := syntax.CheckClockUse(p); err != nil {
+		// Clock misuse (next/advance in an unclocked async) is a
+		// static input error, same class as a parse failure.
+		s.writeError(w, http.StatusUnprocessableEntity, "parse", err.Error())
+		return
+	}
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
@@ -442,6 +448,12 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 	}
 	p, err := parser.Parse(req.Source)
 	if err != nil {
+		s.writeError(w, http.StatusUnprocessableEntity, "parse", err.Error())
+		return
+	}
+	if err := syntax.CheckClockUse(p); err != nil {
+		// Clock misuse (next/advance in an unclocked async) is a
+		// static input error, same class as a parse failure.
 		s.writeError(w, http.StatusUnprocessableEntity, "parse", err.Error())
 		return
 	}

@@ -645,3 +645,41 @@ func mustWorkload(t *testing.T, name string) *workloads.Benchmark {
 	}
 	return b
 }
+
+// TestAnalyzeClockedProgram: a clocked program's report carries the
+// clocks section (per-label phases, pruned-pair count) through the
+// wire format, and clock misuse — a barrier inside an unclocked
+// async — is rejected at the front door like a parse error.
+func TestAnalyzeClockedProgram(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	const src = `
+array 8;
+void main() {
+  L: clocked async { W: a[0] = 1; N: next; R: a[1] = a[0] + 1; }
+  M: next;
+  D: a[2] = a[1] + 1;
+}
+`
+	status, data, _ := postJSON(t, ts.Client(), ts.URL+"/v1/analyze", AnalyzeRequest{Source: src})
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, data)
+	}
+	resp := decodeAnalyze(t, data)
+	if resp.Report.Clocks == nil {
+		t.Fatal("clocked analyze response has no clocks section")
+	}
+	if len(resp.Report.Clocks.Phases) == 0 {
+		t.Error("clocks section has no label phases")
+	}
+
+	const bad = `
+array 2;
+void main() {
+  A: async { N: next; }
+}
+`
+	status, data, _ = postJSON(t, ts.Client(), ts.URL+"/v1/analyze", AnalyzeRequest{Source: bad})
+	if status != http.StatusUnprocessableEntity {
+		t.Fatalf("clock misuse: status %d, want 422: %s", status, data)
+	}
+}

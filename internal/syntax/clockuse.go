@@ -1,0 +1,68 @@
+package syntax
+
+import "fmt"
+
+// Static clock-use checking (Section 8 clocks extension). Validate
+// deliberately does not enforce this: a next inside an unclocked
+// async is a well-formed program with defined dynamic semantics (the
+// interpreter raises ErrUnclockedNext, X10's ClockUseException
+// analogue), and tests exercise exactly that. The front-door tools
+// (fx10, fx10d) call CheckClockUse so users get a static diagnosis
+// instead of a runtime error or a silently clock-blind analysis.
+
+// ClockUseError reports a barrier instruction that can never execute
+// legally: its innermost enclosing async is unclocked, so the
+// activity running it is guaranteed to be unregistered.
+type ClockUseError struct {
+	// Label is the display name of the offending next/advance.
+	Label string
+	// Async is the display name of the enclosing unclocked async.
+	Async string
+	// Method is the containing method's name.
+	Method string
+}
+
+func (e *ClockUseError) Error() string {
+	return fmt.Sprintf("syntax: %s in method %q: next/advance inside unclocked async %s — the activity is never registered on the clock (use \"clocked async\")",
+		e.Label, e.Method, e.Async)
+}
+
+// CheckClockUse rejects barrier instructions whose innermost
+// enclosing async is unclocked. Such a next/advance always faults
+// dynamically. A next with no enclosing async (main-activity code,
+// including helper methods) is fine: the main activity is registered,
+// and a helper may be called from a clocked context.
+func CheckClockUse(p *Program) error {
+	for l := range p.Labels {
+		info := &p.Labels[l]
+		if info.Kind != KindNext || info.AsyncBody == NoLabel {
+			continue
+		}
+		enc := &p.Labels[info.AsyncBody]
+		if a, ok := enc.Instr.(*Async); ok && !a.Clocked {
+			return &ClockUseError{
+				Label:  info.Name,
+				Async:  enc.Name,
+				Method: p.Methods[info.Method].Name,
+			}
+		}
+	}
+	return nil
+}
+
+// UsesClocks reports whether the program contains any Section 8 clock
+// construct (a next barrier or a clocked async). Clock-free programs
+// skip the phase analysis entirely.
+func (p *Program) UsesClocks() bool {
+	for l := range p.Labels {
+		switch i := p.Labels[l].Instr.(type) {
+		case *Next:
+			return true
+		case *Async:
+			if i.Clocked {
+				return true
+			}
+		}
+	}
+	return false
+}

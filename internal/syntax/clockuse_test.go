@@ -1,0 +1,109 @@
+package syntax
+
+import (
+	"errors"
+	"testing"
+)
+
+func clockProgram(t *testing.T, build func(b *Builder) *Stmt) *Program {
+	t.Helper()
+	b := NewBuilder(4)
+	b.MustAddMethod("main", build(b))
+	p, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCheckClockUseRejectsUnclockedAsync(t *testing.T) {
+	p := clockProgram(t, func(b *Builder) *Stmt {
+		return b.Stmts(
+			b.Async("A", b.Stmts(b.Next("N"))),
+			b.Next("M"),
+		)
+	})
+	err := CheckClockUse(p)
+	var ce *ClockUseError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *ClockUseError", err)
+	}
+	if ce.Label != "N" || ce.Async != "A" || ce.Method != "main" {
+		t.Errorf("error fields = %+v", ce)
+	}
+}
+
+func TestCheckClockUseAccepts(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(b *Builder) *Stmt
+	}{
+		{"next in main activity", func(b *Builder) *Stmt {
+			return b.Stmts(b.Next("N"))
+		}},
+		{"next in clocked async", func(b *Builder) *Stmt {
+			return b.Stmts(b.ClockedAsync("C", b.Stmts(b.Next("N"))), b.Next("M"))
+		}},
+		// The child of a clocked async is registered regardless of its
+		// spawner, so clocked-inside-unclocked is legal.
+		{"clocked async nested in unclocked async", func(b *Builder) *Stmt {
+			return b.Stmts(
+				b.Async("A", b.Stmts(
+					b.ClockedAsync("C", b.Stmts(b.Next("N"))),
+				)),
+				b.Next("M"),
+			)
+		}},
+		{"next under finish in clocked async", func(b *Builder) *Stmt {
+			return b.Stmts(
+				b.ClockedAsync("C", b.Stmts(
+					b.Finish("F", b.Stmts(b.Skip(""))),
+					b.Next("N"),
+				)),
+				b.Next("M"),
+			)
+		}},
+	}
+	for _, tc := range cases {
+		p := clockProgram(t, tc.build)
+		if err := CheckClockUse(p); err != nil {
+			t.Errorf("%s: CheckClockUse = %v, want nil", tc.name, err)
+		}
+	}
+}
+
+// Validate stays permissive: a next inside an unclocked async is
+// structurally well-formed (the interpreter tests rely on building
+// it), only CheckClockUse flags it.
+func TestValidateDoesNotEnforceClockUse(t *testing.T) {
+	p := clockProgram(t, func(b *Builder) *Stmt {
+		return b.Stmts(b.Async("A", b.Stmts(b.Next("N"))))
+	})
+	if err := Validate(p); err != nil {
+		t.Fatalf("Validate = %v, want nil", err)
+	}
+}
+
+func TestUsesClocks(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(b *Builder) *Stmt
+		want  bool
+	}{
+		{"plain", func(b *Builder) *Stmt {
+			return b.Stmts(b.Async("A", b.Stmts(b.Skip(""))), b.Skip(""))
+		}, false},
+		{"next", func(b *Builder) *Stmt {
+			return b.Stmts(b.Next("N"))
+		}, true},
+		{"clocked async only", func(b *Builder) *Stmt {
+			return b.Stmts(b.ClockedAsync("C", b.Stmts(b.Skip(""))))
+		}, true},
+	}
+	for _, tc := range cases {
+		p := clockProgram(t, tc.build)
+		if got := p.UsesClocks(); got != tc.want {
+			t.Errorf("%s: UsesClocks = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}

@@ -123,6 +123,82 @@ func TestMethodInterning(t *testing.T) {
 	}
 }
 
+// TestMethodHashClockedDistinctions: the canonical encoding must
+// separate the clock constructs the phase analysis keys on — an
+// unclocked async vs a clocked one over the same body, and an advance
+// (next) at different positions relative to a spawn. Conflating any of
+// these would let the summary cache and delta solver reuse values
+// across programs with different phase structure.
+func TestMethodHashClockedDistinctions(t *testing.T) {
+	parse := func(src string) *syntax.Program {
+		p, err := parser.Parse(src)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		return p
+	}
+	variants := map[string]*syntax.Program{
+		"plain async": parse(`
+array 2;
+void main() { A: async { W: a[0] = 1; } D: a[1] = 1; }`),
+		"clocked async": parse(`
+array 2;
+void main() { A: clocked async { W: a[0] = 1; } D: a[1] = 1; }`),
+		"advance before spawn": parse(`
+array 2;
+void main() { N: advance; A: clocked async { W: a[0] = 1; } D: a[1] = 1; }`),
+		"advance after spawn": parse(`
+array 2;
+void main() { A: clocked async { W: a[0] = 1; } N: advance; D: a[1] = 1; }`),
+		"advance inside body": parse(`
+array 2;
+void main() { A: clocked async { N: advance; W: a[0] = 1; } D: a[1] = 1; }`),
+	}
+	hashes := map[syntax.ProgramHash]string{}
+	for name, p := range variants {
+		h := p.MethodHash(p.MainIndex)
+		if prev, dup := hashes[h]; dup {
+			t.Errorf("%q and %q share a method hash despite different clock structure", prev, name)
+		}
+		hashes[h] = name
+	}
+}
+
+// TestMethodHashClockedRenumberingInvariance: clocked constructs keep
+// the hash invariants the clock-free calculus has — rebuilding with
+// fresh label indices and reprinting/reparsing preserve every method
+// hash, and content-identical clocked methods intern to one canonical
+// form.
+func TestMethodHashClockedRenumberingInvariance(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		p := progen.Generate(seed, progen.ClockedFinite())
+		clone := progen.Clone(p)
+		reparsed, err := parser.Parse(syntax.Print(p))
+		if err != nil {
+			t.Fatalf("seed %d: reparse: %v", seed, err)
+		}
+		for mi, m := range p.Methods {
+			ci, ok := clone.MethodIndex(m.Name)
+			if !ok {
+				t.Fatalf("seed %d: clone lost method %q", seed, m.Name)
+			}
+			if p.MethodHash(mi) != clone.MethodHash(ci) {
+				t.Errorf("seed %d: clocked method %q hash differs after clone", seed, m.Name)
+			}
+			if p.MethodCanon(mi) != clone.MethodCanon(ci) {
+				t.Errorf("seed %d: clocked method %q canonical form not shared with clone", seed, m.Name)
+			}
+			ri, ok := reparsed.MethodIndex(m.Name)
+			if !ok {
+				t.Fatalf("seed %d: reparse lost method %q", seed, m.Name)
+			}
+			if p.MethodHash(mi) != reparsed.MethodHash(ri) {
+				t.Errorf("seed %d: clocked method %q hash differs after print→reparse", seed, m.Name)
+			}
+		}
+	}
+}
+
 // TestProgramHashMemoized: Program.Hash is stable across calls and
 // distinguishes different programs.
 func TestProgramHashMemoized(t *testing.T) {

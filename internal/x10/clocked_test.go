@@ -1,0 +1,85 @@
+package x10
+
+import (
+	"testing"
+
+	"fx10/internal/condensed"
+	"fx10/internal/syntax"
+)
+
+// Clock constructs must survive the whole front-end path: X10 text →
+// condensed nodes → lowered core program, with the Clocked flag and
+// the barrier intact for the static phase analysis.
+func TestClockedConstructsLower(t *testing.T) {
+	src := `
+public static void main() {
+  clocked async {
+    compute();
+    next;
+    combine();
+  }
+  advance;
+  finish {
+    async { compute(); }
+  }
+}
+def compute() { x = 1; }
+def combine() { x = 2; }
+`
+	u, _ := MustParse(src)
+	if n := ResolveCalls(u); n != 0 {
+		t.Fatalf("%d unresolved calls", n)
+	}
+
+	counts := u.NodeCounts()
+	if got := counts.Of(condensed.Advance); got != 2 {
+		t.Errorf("advance nodes = %d, want 2 (one next, one advance)", got)
+	}
+
+	var clocked, plain int
+	var walk func([]*condensed.Node)
+	walk = func(block []*condensed.Node) {
+		for _, n := range block {
+			if n.Kind == condensed.Async {
+				if n.Clocked {
+					clocked++
+				} else {
+					plain++
+				}
+			}
+			walk(n.Body)
+			walk(n.Else)
+			for _, cs := range n.Cases {
+				walk(cs)
+			}
+		}
+	}
+	for _, m := range u.Methods {
+		walk(m.Body)
+	}
+	if clocked != 1 || plain != 1 {
+		t.Errorf("clocked/plain asyncs = %d/%d, want 1/1", clocked, plain)
+	}
+
+	p, err := condensed.Lower(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.UsesClocks() {
+		t.Fatal("lowered program lost the clock constructs")
+	}
+	var nexts, clockedAsyncs int
+	p.EachInstr(func(_ int, i syntax.Instr) {
+		switch i := i.(type) {
+		case *syntax.Next:
+			nexts++
+		case *syntax.Async:
+			if i.Clocked {
+				clockedAsyncs++
+			}
+		}
+	})
+	if nexts != 2 || clockedAsyncs != 1 {
+		t.Errorf("lowered nexts=%d clockedAsyncs=%d, want 2 and 1", nexts, clockedAsyncs)
+	}
+}

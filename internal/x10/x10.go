@@ -8,7 +8,8 @@
 //     "public static void main(...) { ... }", "def step() { ... }";
 //     optional "class Name { ... }" wrappers group methods;
 //   - async (with an optional "(place)" clause marking a
-//     place-switching async), finish;
+//     place-switching async), clocked async, finish;
+//   - next / advance, the Section 8 clock barrier;
 //   - if/else, switch/case/default;
 //   - for, while, do, foreach, ateach — all loops; foreach and ateach
 //     desugar to a loop whose body is wrapped in an (implicit) async,
@@ -370,19 +371,25 @@ func (p *parser) parseStmt() ([]*condensed.Node, error) {
 	switch p.peekWord() {
 	case "async":
 		p.word()
-		place := 0
+		return p.finishAsync(false)
+
+	case "clocked":
+		p.word()
 		p.skipSpace()
-		if !p.eof() && p.peek() == '(' {
-			if err := p.skipBalanced('(', ')'); err != nil {
-				return nil, err
-			}
-			place = 1 // the concrete place is value-level; 1 marks "switched"
+		if p.peekWord() != "async" {
+			return nil, p.errf("expected \"async\" after \"clocked\"")
 		}
-		body, err := p.blockOrStmt()
-		if err != nil {
+		p.word()
+		return p.finishAsync(true)
+
+	case "next", "advance":
+		// The clock barrier (Section 8); X10 writes it "next;", later
+		// dialects "advance;". Both condense to an Advance node.
+		p.word()
+		if err := p.skipToSemi(); err != nil {
 			return nil, err
 		}
-		return []*condensed.Node{{Kind: condensed.Async, Body: body, Place: place}}, nil
+		return []*condensed.Node{{Kind: condensed.Advance}}, nil
 
 	case "finish":
 		p.word()
@@ -505,6 +512,25 @@ func (p *parser) parseStmt() ([]*condensed.Node, error) {
 		}
 		return []*condensed.Node{{Kind: condensed.Skip}}, nil
 	}
+}
+
+// finishAsync parses the remainder of an async statement (the "async"
+// keyword, and "clocked" if present, already consumed): an optional
+// place clause and the body.
+func (p *parser) finishAsync(clocked bool) ([]*condensed.Node, error) {
+	place := 0
+	p.skipSpace()
+	if !p.eof() && p.peek() == '(' {
+		if err := p.skipBalanced('(', ')'); err != nil {
+			return nil, err
+		}
+		place = 1 // the concrete place is value-level; 1 marks "switched"
+	}
+	body, err := p.blockOrStmt()
+	if err != nil {
+		return nil, err
+	}
+	return []*condensed.Node{{Kind: condensed.Async, Body: body, Place: place, Clocked: clocked}}, nil
 }
 
 // parseSwitchBody parses "{ case x: stmts… default: stmts… }".
