@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: verify build vet test race bench benchsmoke profile figures solverbench incrementalbench clockedbench serverbench serversmoke fuzz fuzz-smoke clocked-smoke
+.PHONY: verify build vet test race bench benchsmoke profile figures solverbench incrementalbench clockedbench parallelbench serverbench serversmoke fuzz fuzz-smoke clocked-smoke parallel-smoke
 
 verify: build vet race
 
@@ -49,6 +49,12 @@ incrementalbench:
 clockedbench:
 	$(GO) run ./cmd/mhpbench -figure clocked -benchjson BENCH_clocked.json
 
+# parallelbench regenerates the committed huge-tier scaling figure
+# (worklist vs topo vs ptopo across pool widths, 5k–100k labels).
+# Takes minutes; the crossover it reports is hardware-dependent.
+parallelbench:
+	$(GO) run ./cmd/mhpbench -figure parallel -benchjson BENCH_parallel.json
+
 # serverbench regenerates the committed analysis-service load report:
 # a mixed query/analyze/delta run plus a cached-/v1/query-only run,
 # both in-process (no TCP listener flakiness), seeded.
@@ -82,3 +88,9 @@ fuzz-smoke:
 clocked-smoke:
 	$(GO) run ./cmd/fx10 fuzz -clocked -seeds 1 -n 150
 	$(GO) run ./cmd/mhpbench -figure clocked -n 10
+
+# parallel-smoke is the CI gate for the concurrent solver: a small
+# huge-tier program solved by ptopo at several pool widths under the
+# race detector, asserting bit-equality with sequential topo.
+parallel-smoke:
+	$(GO) test -race -run TestParallelSmokeHugeTier -count=1 ./internal/constraints

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"fx10/internal/engine"
@@ -22,12 +23,57 @@ func TestExitCodeClassification(t *testing.T) {
 		{"wrapped parse", fmt.Errorf("loading: %w", &parser.Error{Line: 1, Col: 1, Msg: "x"}), 2},
 		{"clock misuse", &syntax.ClockUseError{Label: "N", Async: "A", Method: "main"}, 2},
 		{"wrapped clock misuse", fmt.Errorf("loading: %w", &syntax.ClockUseError{Label: "N", Async: "A", Method: "main"}), 2},
+		{"unknown strategy", &engine.UnknownStrategyError{Name: "bogus"}, 2},
+		{"wrapped unknown strategy", fmt.Errorf("mhp: %w", &engine.UnknownStrategyError{Name: "bogus"}), 2},
 		{"analysis", &engine.AnalysisError{Name: "p", Value: "kaboom"}, 3},
 		{"wrapped analysis", fmt.Errorf("corpus: %w", &engine.AnalysisError{Name: "p", Value: "kaboom"}), 3},
 	}
 	for _, tc := range cases {
 		if got := exitCode(tc.err); got != tc.want {
 			t.Errorf("%s: exitCode = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestMHPUnknownStrategyExitCode drives the real mhp subcommand with
+// a strategy name that is not registered: the error must classify as
+// exit 2 (bad invocation, not a failed analysis) and list every
+// registered strategy so the user can correct the flag.
+func TestMHPUnknownStrategyExitCode(t *testing.T) {
+	src := filepath.Join(t.TempDir(), "ok.fx10")
+	if err := os.WriteFile(src, []byte("array 2;\nvoid main() { L: a[0] = 1; }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"mhp", "-strategy", "no-such-solver", src})
+	if err == nil {
+		t.Fatal("mhp accepted an unregistered strategy")
+	}
+	if got := exitCode(err); got != 2 {
+		t.Errorf("unknown strategy maps to exit %d, want 2 (err: %v)", got, err)
+	}
+	for _, name := range []string{"no-such-solver", "monolithic", "phased", "ptopo", "topo", "worklist"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error does not mention %q: %v", name, err)
+		}
+	}
+}
+
+// TestMHPWorkersFlag checks -workers parses and reaches the engine
+// without changing the report: ptopo at any width prints the same
+// pairs as sequential topo.
+func TestMHPWorkersFlag(t *testing.T) {
+	src := filepath.Join(t.TempDir(), "ok.fx10")
+	prog := "array 4;\nvoid main() { finish { async { A: a[1] = 1; } B: a[2] = 2; } C: a[3] = 3; }\n"
+	if err := os.WriteFile(src, []byte(prog), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, args := range [][]string{
+		{"mhp", "-strategy", "ptopo", "-workers", "4", src},
+		{"mhp", "-strategy", "ptopo", src},
+		{"mhp", "-strategy", "topo", "-workers", "4", src}, // ignored by sequential strategies
+	} {
+		if err := run(args); err != nil {
+			t.Errorf("%v: %v", args, err)
 		}
 	}
 }

@@ -5,7 +5,7 @@
 //
 //	fx10 run        [-sched S] [-seed N] [-steps N] [-a CSV] [-trace] FILE
 //	fx10 exec       [-procs N] [-a CSV] FILE
-//	fx10 mhp        [-mode M] [-strategy NAME] [-pairs] [-races] [-places] FILE
+//	fx10 mhp        [-mode M] [-strategy NAME] [-workers N] [-pairs] [-races] [-places] FILE
 //	fx10 constraints [-mode M] FILE
 //	fx10 explore    [-max N] [-a CSV] FILE
 //	fx10 fuzz       [-seeds CSV] [-n N] [-budget N] [-parallel N] [-minimize] [-incremental] [-clocked]
@@ -55,14 +55,16 @@ func main() {
 
 // exitCode distinguishes failure classes for scripting: 2 means the
 // input did not parse or failed static validation (including clock
-// misuse: next/advance inside an unclocked async), 3 means the
-// analysis itself failed on input that parsed, 1 is everything else.
+// misuse: next/advance inside an unclocked async) or named an
+// unregistered solver strategy, 3 means the analysis itself failed on
+// input that parsed, 1 is everything else.
 func exitCode(err error) int {
 	var pe *parser.Error
 	var ce *syntax.ClockUseError
+	var ue *engine.UnknownStrategyError
 	var ae *engine.AnalysisError
 	switch {
-	case errors.As(err, &pe), errors.As(err, &ce):
+	case errors.As(err, &pe), errors.As(err, &ce), errors.As(err, &ue):
 		return 2
 	case errors.As(err, &ae):
 		return 3
@@ -243,6 +245,7 @@ func cmdMHP(args []string) error {
 	fs := flag.NewFlagSet("mhp", flag.ContinueOnError)
 	mode := fs.String("mode", "cs", "analysis mode: cs (context-sensitive) or ci")
 	strategy := fs.String("strategy", "", "solver strategy (default: "+engine.DefaultStrategy+"); unknown names list the registered ones")
+	workers := fs.Int("workers", 0, "solver pool width for parallel strategies like ptopo (0 = strategy default); results never depend on it")
 	showPairs := fs.Bool("pairs", true, "print the MHP label pairs")
 	showRaces := fs.Bool("races", false, "print race candidates")
 	withPlaces := fs.Bool("places", false, "apply the same-place refinement (Section 8 extension)")
@@ -261,7 +264,7 @@ func cmdMHP(args []string) error {
 	}
 	// Resolve the strategy first: a bad name errors out listing the
 	// registered ones.
-	e, err := engine.New(engine.Config{Strategy: *strategy, CacheSize: -1})
+	e, err := engine.New(engine.Config{Strategy: *strategy, CacheSize: -1, SolverWorkers: *workers})
 	if err != nil {
 		return err
 	}

@@ -48,6 +48,7 @@ func runServe(args []string) error {
 		workers    = fs.Int("workers", 0, "concurrent solves (0 = GOMAXPROCS)")
 		queue      = fs.Int("queue", 0, "admission queue depth (0 = 4×workers)")
 		strategy   = fs.String("strategy", "", "solver strategy (empty = default)")
+		solverW    = fs.Int("solver-workers", 0, "pool width inside parallel strategies like ptopo (0 = strategy default)")
 		cache      = fs.Int("cache", 0, "program cache entries (0 = default)")
 		solveTO    = fs.Duration("solve-timeout", 30*time.Second, "per-solve ceiling")
 		reqTO      = fs.Duration("request-timeout", 10*time.Second, "per-request deadline")
@@ -61,6 +62,7 @@ func runServe(args []string) error {
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		Strategy:       *strategy,
+		SolverWorkers:  *solverW,
 		CacheSize:      *cache,
 		SolveTimeout:   *solveTO,
 		RequestTimeout: *reqTO,

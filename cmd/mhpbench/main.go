@@ -7,16 +7,22 @@
 //
 // Usage:
 //
-//	mhpbench [-figure all|5|6|7|8|9|examples|precision|scaling|corpus|solver|incremental|clocked] [-parallel N] [-strategy NAME] [-benchjson FILE] [-n N]
+//	mhpbench [-figure NAME,...] [-parallel N] [-strategy NAME] [-benchjson FILE] [-n N]
 //
-// The solver figure races all four registered solving strategies on
-// the 13-benchmark corpus; the incremental figure sweeps single-method
-// edits over the corpus and compares incremental re-analysis
-// (engine.AnalyzeDelta) against solving from scratch; the clocked
-// figure compares clock-blind and clock-aware pair counts and solve
-// times over a generated clocked corpus (-n programs). -benchjson
-// additionally writes the sweep machine-readably (the committed
-// BENCH_solver.json / BENCH_incremental.json / BENCH_clocked.json).
+// -figure takes a comma-separated subset of the known figures; the
+// one authoritative list is the figures slice below, which also
+// generates the flag's help text and the unknown-figure error, so
+// this comment does not enumerate it. Highlights: the solver figure
+// races every registered solving strategy on the 13-benchmark corpus;
+// the incremental figure sweeps single-method edits and compares
+// incremental re-analysis (engine.AnalyzeDelta) against solving from
+// scratch; the clocked figure compares clock-blind and clock-aware
+// pair counts over a generated clocked corpus (-n programs); the
+// parallel figure races worklist/topo/ptopo on the progen huge tier
+// across pool widths and locates the topo→ptopo crossover. -benchjson
+// additionally writes the selected sweep machine-readably (the
+// committed BENCH_solver.json / BENCH_incremental.json /
+// BENCH_clocked.json / BENCH_parallel.json).
 package main
 
 import (
@@ -32,8 +38,24 @@ import (
 	"fx10/internal/parser"
 )
 
+// figures is the single authoritative list of selectable figures:
+// the -figure help text, the unknown-figure error and the "all"
+// default are all derived from it, so they cannot drift apart.
+var figures = []string{
+	"examples", "5", "6", "7", "8", "9",
+	"precision", "scaling", "corpus",
+	"solver", "incremental", "clocked", "parallel",
+}
+
+// allFigures is what -figure all selects: the paper regeneration
+// (examples and numbered figures) plus the corpus sweep. The studies
+// and benches run only when asked for by name.
+var allFigures = []string{"examples", "5", "6", "7", "8", "9", "corpus"}
+
+func figureList() string { return "all, " + strings.Join(figures, ", ") }
+
 func main() {
-	figure := flag.String("figure", "all", "which figure to regenerate: all, 5, 6, 7, 8, 9, examples, scaling, corpus, solver, incremental or clocked")
+	figure := flag.String("figure", "all", "which figure(s) to regenerate, comma-separated: "+figureList())
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool width for the corpus sweep")
 	strategy := flag.String("strategy", "", "solver strategy for the incremental figure (default: "+engine.DefaultStrategy+")")
 	benchjson := flag.String("benchjson", "", "with -figure solver, incremental or clocked: also write the sweep as JSON to this file")
@@ -51,8 +73,9 @@ func main() {
 func exitCode(err error) int {
 	var pe *parser.Error
 	var ae *engine.AnalysisError
+	var ue *engine.UnknownStrategyError
 	switch {
-	case errors.As(err, &pe):
+	case errors.As(err, &pe), errors.As(err, &ue):
 		return 2
 	case errors.As(err, &ae):
 		return 3
@@ -67,15 +90,26 @@ func run(figure string, parallel int, strategy, benchjson string, clockedN int) 
 		return err
 	}
 
+	known := map[string]bool{}
+	for _, f := range figures {
+		known[f] = true
+	}
 	want := map[string]bool{}
-	if figure == "all" {
-		for _, f := range []string{"examples", "5", "6", "7", "8", "9", "corpus"} {
-			want[f] = true
+	for _, f := range strings.Split(figure, ",") {
+		f = strings.TrimSpace(f)
+		if f == "all" {
+			for _, a := range allFigures {
+				want[a] = true
+			}
+			continue
 		}
-	} else {
-		for _, f := range strings.Split(figure, ",") {
-			want[strings.TrimSpace(f)] = true
+		if f == "" {
+			continue
 		}
+		if !known[f] {
+			return fmt.Errorf("unknown figure %q; known figures: %s", f, figureList())
+		}
+		want[f] = true
 	}
 
 	section := func(title string) { fmt.Printf("\n== %s ==\n\n", title) }
@@ -189,8 +223,22 @@ func run(figure string, parallel int, strategy, benchjson string, clockedN int) 
 			fmt.Printf("wrote %s\n", benchjson)
 		}
 	}
+	if want["parallel"] {
+		section("Parallel solving: huge-tier scaling, worklist vs topo vs ptopo")
+		bench, err := experiments.RunParallelBench(1)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatParallelBench(bench))
+		if benchjson != "" {
+			if err := experiments.WriteParallelBenchJSON(bench, benchjson); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", benchjson)
+		}
+	}
 	if len(want) == 0 {
-		return fmt.Errorf("nothing selected; use -figure all|5|6|7|8|9|examples|precision|scaling|corpus|solver|incremental|clocked")
+		return fmt.Errorf("nothing selected; use -figure with %s", figureList())
 	}
 	return nil
 }

@@ -4,6 +4,8 @@ import (
 	"os"
 	"strings"
 	"testing"
+
+	"fx10/internal/experiments"
 )
 
 func captureRun(t *testing.T, figure string) (string, error) {
@@ -90,12 +92,76 @@ func TestFigures8And9(t *testing.T) {
 }
 
 func TestUnknownFigure(t *testing.T) {
-	out, err := captureRun(t, "42")
-	if err != nil {
-		t.Fatalf("run: %v", err) // unknown figures simply select nothing
+	_, err := captureRun(t, "42")
+	if err == nil {
+		t.Fatal("unknown figure accepted")
 	}
-	if strings.Contains(out, "Figure") {
-		t.Fatalf("unexpected output for unknown figure:\n%s", out)
+	if !strings.Contains(err.Error(), `"42"`) {
+		t.Fatalf("error does not name the bad figure: %v", err)
+	}
+	for _, f := range figures {
+		if !strings.Contains(err.Error(), f) {
+			t.Fatalf("error does not list figure %q: %v", f, err)
+		}
+	}
+	// A typo next to valid selections must fail too, before any
+	// section runs.
+	if _, err := captureRun(t, "examples,solvr"); err == nil {
+		t.Fatal("typoed figure next to a valid one accepted")
+	}
+}
+
+// TestFigureListsAgree pins satellite concerns: every figure the run
+// dispatcher handles must be in the figures slice and vice versa, and
+// the "all" selection must be a subset of it.
+func TestFigureListsAgree(t *testing.T) {
+	known := map[string]bool{}
+	for _, f := range figures {
+		known[f] = true
+	}
+	if len(known) != len(figures) {
+		t.Fatal("duplicate entries in figures")
+	}
+	for _, f := range allFigures {
+		if !known[f] {
+			t.Fatalf("all selects %q which is not a known figure", f)
+		}
+	}
+	help := figureList()
+	for _, f := range figures {
+		if !strings.Contains(help, f) {
+			t.Fatalf("figureList() missing %q: %s", f, help)
+		}
+	}
+}
+
+func TestParallelSection(t *testing.T) {
+	oldSizes, oldWorkers := experiments.ParallelBenchSizes, experiments.ParallelBenchWorkers
+	experiments.ParallelBenchSizes, experiments.ParallelBenchWorkers = []int{600}, []int{2}
+	defer func() {
+		experiments.ParallelBenchSizes, experiments.ParallelBenchWorkers = oldSizes, oldWorkers
+	}()
+
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() { os.Stdout = old; devnull.Close() }()
+
+	path := t.TempDir() + "/bench.json"
+	if err := run("parallel", 1, "", path, 5); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("benchjson not written: %v", err)
+	}
+	for _, frag := range []string{`"strategy": "ptopo"`, `"strategy": "topo"`, `"strategy": "worklist"`, `"ns_per_op"`, `"num_cpu"`, `"gomaxprocs"`} {
+		if !strings.Contains(string(data), frag) {
+			t.Fatalf("benchjson missing %q:\n%s", frag, data)
+		}
 	}
 }
 

@@ -6,11 +6,15 @@
 // goroutine-backed runtime, an X10-subset front end with the paper's
 // condensed program form, synthetic reconstructions of the paper's 13
 // benchmarks, and harnesses regenerating Figures 5–9. The analysis
-// runs through a unified engine with pluggable solver strategies, a
-// two-tier content-hash cache (whole-program results and
-// cross-program method summaries) and method-granular incremental
-// re-analysis (engine.AnalyzeDelta), all differentially fuzzed
-// against exact and observed parallelism. The Section 8 clocks
+// runs through a unified engine with five pluggable solver strategies
+// (including ptopo, a parallel topological solver that schedules SCC
+// components of the condensed constraint graph onto a bounded worker
+// pool, bit-identical to its sequential counterpart), a two-tier
+// content-hash cache (whole-program results and cross-program method
+// summaries) and method-granular incremental re-analysis
+// (engine.AnalyzeDelta), all differentially fuzzed against exact and
+// observed parallelism and scale-tested on generated programs past
+// 100k labels (internal/progen's huge tier, BENCH_parallel.json). The Section 8 clocks
 // extension is analyzed, not just executed: per-label phase
 // inference (internal/clocks) feeds phase-ordering facts into
 // constraint solving, so barrier-separated pairs are pruned

@@ -42,11 +42,9 @@ func (cs *cancelState) arm(ctx context.Context) {
 	}
 }
 
-// checkCancel is called once per constraint evaluation by every
-// solver loop; every CancelStride calls it polls the context and
-// aborts the solve if it is done.
-func (sol *Solution) checkCancel() {
-	cs := &sol.cancel
+// check polls the context every CancelStride calls and aborts the
+// solve (canceledPanic) if it is done.
+func (cs *cancelState) check() {
 	if cs.ctx == nil {
 		return
 	}
@@ -59,6 +57,22 @@ func (sol *Solution) checkCancel() {
 		panic(canceledPanic{err: err})
 	}
 }
+
+// fork returns an independent cancellation state sharing cs's context
+// but with a fresh countdown. The parallel solver gives each worker
+// its own fork: the countdown is plain mutable state and must not be
+// shared across goroutines.
+func (cs *cancelState) fork() cancelState {
+	f := cancelState{ctx: cs.ctx}
+	if f.ctx != nil {
+		f.countdown = CancelStride
+	}
+	return f
+}
+
+// checkCancel is called once per constraint evaluation by every
+// sequential solver loop.
+func (sol *Solution) checkCancel() { sol.cancel.check() }
 
 // recoverCanceled converts the cancellation sentinel into err,
 // re-panicking anything else. Use in a deferred call.
@@ -75,7 +89,8 @@ func recoverCanceled(err *error) {
 // SolveCtx is Solve with cooperative cancellation: it returns
 // (nil, ctx.Err()) if ctx is cancelled mid-solve, and the least
 // solution otherwise. Cancellation is checked every CancelStride
-// constraint evaluations in all four solver strategies, so a cancel
+// constraint evaluations in all five solver strategies (each parallel
+// worker polls its own fork of the state), so a cancel
 // is honoured promptly even deep inside a large fixpoint. A partial
 // solve is never returned.
 func (s *System) SolveCtx(ctx context.Context, opts Options) (sol *Solution, err error) {

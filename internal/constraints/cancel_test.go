@@ -44,7 +44,7 @@ func cancelSystem(t *testing.T, mode Mode) *System {
 func TestSolveCtxMatchesSolve(t *testing.T) {
 	for _, mode := range []Mode{ContextSensitive, ContextInsensitive} {
 		sys := cancelSystem(t, mode)
-		for _, opts := range []Options{{}, {Monolithic: true}, {Worklist: true}, {Topo: true}} {
+		for _, opts := range []Options{{}, {Monolithic: true}, {Worklist: true}, {Topo: true}, {Parallel: true}, {Parallel: true, Workers: 4}} {
 			want := sys.Solve(opts)
 			got, err := sys.SolveCtx(context.Background(), opts)
 			if err != nil {
@@ -63,7 +63,7 @@ func TestSolveCtxPreCancelled(t *testing.T) {
 	sys := cancelSystem(t, ContextSensitive)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	for _, opts := range []Options{{}, {Monolithic: true}, {Worklist: true}, {Topo: true}} {
+	for _, opts := range []Options{{}, {Monolithic: true}, {Worklist: true}, {Topo: true}, {Parallel: true}, {Parallel: true, Workers: 4}} {
 		sol, err := sys.SolveCtx(ctx, opts)
 		if !errors.Is(err, context.Canceled) {
 			t.Fatalf("%+v: want context.Canceled, got %v", opts, err)

@@ -7,8 +7,9 @@ import (
 )
 
 // TestOptionsNormalize pins the single-place resolution of the
-// strategy flags' mutual exclusion: Topo wins over Worklist wins over
-// Monolithic.
+// strategy flags' mutual exclusion: Parallel wins over Topo wins over
+// Worklist wins over Monolithic, and Workers survives only with
+// Parallel.
 func TestOptionsNormalize(t *testing.T) {
 	cases := []struct {
 		in, want Options
@@ -21,6 +22,11 @@ func TestOptionsNormalize(t *testing.T) {
 		{Options{Topo: true, Worklist: true}, Options{Topo: true}},
 		{Options{Topo: true, Monolithic: true}, Options{Topo: true}},
 		{Options{Topo: true, Worklist: true, Monolithic: true}, Options{Topo: true}},
+		{Options{Parallel: true}, Options{Parallel: true}},
+		{Options{Parallel: true, Workers: 4}, Options{Parallel: true, Workers: 4}},
+		{Options{Parallel: true, Topo: true, Worklist: true, Monolithic: true}, Options{Parallel: true}},
+		{Options{Topo: true, Workers: 4}, Options{Topo: true}},
+		{Options{Workers: 4}, Options{}},
 	}
 	for _, c := range cases {
 		if got := c.in.Normalize(); got != c.want {

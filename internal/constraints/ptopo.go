@@ -1,0 +1,373 @@
+package constraints
+
+// Parallel topological SCC solving (the "ptopo" strategy): the topo
+// solver's condensation, scheduled concurrently. The condensed
+// dependency graph is a DAG, so components become independently
+// runnable the moment all their predecessor components are solved;
+// tracking that with one atomic indegree counter per component turns
+// the sequential reverse-id sweep of topo.go into a work queue a
+// bounded pool drains. Everything that determines the answer — the
+// Tarjan condensation, the member order inside a component, the
+// copy-elision decisions, the per-component evaluation bodies
+// (evalL1Comp/evalL2Comp, shared with the sequential solver) — is
+// unchanged, and every cross-component read is of a value that is
+// final before the reader is scheduled, so the solution (valuations,
+// pair bags, clock-phase pruning, even the Evaluations count) is
+// bit-identical to topo's by construction.
+//
+// Memory discipline: workers never share mutable scratch. Each level-1
+// worker draws result sets from its own slab arena (intset.NewBatch
+// refills), each level-2 component builds a private bag; the shared
+// vals/bags arrays are written exactly once per component, by the
+// worker that solved it, and read only by components scheduled after
+// it. The happens-before chain is: component writes → atomic indegree
+// decrement of each successor → (for the decrement that reaches zero)
+// buffered channel send → receive by the worker that solves the
+// successor. Sends never block: each component is enqueued exactly
+// once and the channel's capacity is the component count; the channel
+// is closed only after all components are solved, so no send can race
+// the close.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"fx10/internal/intset"
+)
+
+// condensedDAG is the component-level dependency graph: succ lists
+// each component's successor components in CSR form (multi-edges
+// kept), indeg holds one atomic counter per component, initialized to
+// its incoming edge count. Scheduling decrements indeg once per edge,
+// so a component becomes ready exactly when its last predecessor
+// finishes.
+type condensedDAG struct {
+	succ  graphCSR
+	indeg []atomic.Int32
+}
+
+// condense projects the variable-level dependency graph g onto
+// components, dropping intra-component edges.
+func condense(comp []int32, ncomp int32, g graphCSR) *condensedDAG {
+	d := &condensedDAG{
+		succ:  graphCSR{off: make([]int32, ncomp+1)},
+		indeg: make([]atomic.Int32, ncomp),
+	}
+	nv := len(comp)
+	for v := 0; v < nv; v++ {
+		cv := comp[v]
+		for _, w := range g.edges[g.off[v]:g.off[v+1]] {
+			if comp[w] != cv {
+				d.succ.off[cv+1]++
+			}
+		}
+	}
+	for c := int32(1); c <= ncomp; c++ {
+		d.succ.off[c] += d.succ.off[c-1]
+	}
+	d.succ.edges = make([]int32, d.succ.off[ncomp])
+	pos := make([]int32, ncomp)
+	copy(pos, d.succ.off[:ncomp])
+	for v := 0; v < nv; v++ {
+		cv := comp[v]
+		for _, w := range g.edges[g.off[v]:g.off[v+1]] {
+			if cw := comp[w]; cw != cv {
+				d.succ.edges[pos[cv]] = cw
+				pos[cv]++
+				d.indeg[cw].Add(1)
+			}
+		}
+	}
+	return d
+}
+
+// normalizeWorkers resolves the pool width: ≤ 0 means GOMAXPROCS, and
+// the pool never exceeds the number of schedulable units.
+func normalizeWorkers(workers int, units int32) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if int32(workers) > units {
+		workers = int(units)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// runComponents drains the condensed DAG with a bounded worker pool:
+// solve(w, cid) is called exactly once per component, only after all
+// of cid's predecessors have been solved. A panic in any solve (a
+// cancellation unwind, or a genuine bug) aborts the pool and is
+// re-panicked on the calling goroutine, preserving the SolveCtx
+// recover contract.
+func runComponents(workers int, d *condensedDAG, solve func(w int, cid int32)) {
+	ncomp := int32(len(d.indeg))
+	if ncomp == 0 {
+		return
+	}
+	// Every component is sent exactly once, so cap ncomp means sends
+	// never block (a blocked send could deadlock against an aborting
+	// pool).
+	ready := make(chan int32, ncomp)
+	var remaining atomic.Int32
+	remaining.Store(ncomp)
+	// Seed sources in descending id order — the order the sequential
+	// sweep would first reach them. Any order is correct; this one
+	// keeps single-worker runs close to the sequential access pattern.
+	for cid := ncomp - 1; cid >= 0; cid-- {
+		if d.indeg[cid].Load() == 0 {
+			ready <- cid
+		}
+	}
+
+	quit := make(chan struct{})
+	var quitOnce sync.Once
+	var panicMu sync.Mutex
+	var panicVal any
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicVal == nil {
+						panicVal = r
+					}
+					panicMu.Unlock()
+					quitOnce.Do(func() { close(quit) })
+				}
+			}()
+			for {
+				select {
+				case <-quit:
+					return
+				case cid, ok := <-ready:
+					if !ok {
+						return
+					}
+					solve(w, cid)
+					for _, sc := range d.succ.edges[d.succ.off[cid]:d.succ.off[cid+1]] {
+						if d.indeg[sc].Add(-1) == 0 {
+							ready <- sc
+						}
+					}
+					if remaining.Add(-1) == 0 {
+						close(ready)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
+}
+
+// ptopoWorker is one level-1 worker's private state: a forked
+// cancellation countdown, an evaluation counter, and a slab arena of
+// result sets refilled in chunks so the hot path allocates nothing.
+type ptopoWorker struct {
+	cancel   cancelState
+	evals    int64
+	free     []*intset.Set
+	universe int
+	chunk    int
+}
+
+// nextSet returns a fresh empty set from the worker's arena.
+func (w *ptopoWorker) nextSet() *intset.Set {
+	if len(w.free) == 0 {
+		w.free = intset.NewBatch(w.universe, w.chunk)
+	}
+	s := w.free[len(w.free)-1]
+	w.free = w.free[:len(w.free)-1]
+	return s
+}
+
+// arenaChunk sizes worker slab refills: roughly a worker's fair share
+// of the sets, clamped so tiny systems don't over-allocate and huge
+// ones don't refill constantly.
+func arenaChunk(n, workers int) int {
+	c := (n + workers - 1) / workers
+	if c < 8 {
+		c = 8
+	}
+	if c > 256 {
+		c = 256
+	}
+	return c
+}
+
+// solveParallelL1 computes the level-1 least solution: topo's
+// condensation, drained by runComponents.
+func (sol *Solution) solveParallelL1(workers int) {
+	s := sol.sys
+	nv := len(s.SetVarNames)
+	if nv == 0 {
+		return
+	}
+	n := s.P.NumLabels()
+
+	lhsL1, subSrc, g := s.l1Graph()
+	comp, ncomp := tarjanSCC(nv, g)
+	members := memberCSR(comp, ncomp)
+	dag := condense(comp, ncomp, g)
+	workers = normalizeWorkers(workers, ncomp)
+
+	vals := make([]*intset.Set, ncomp)
+	owner := make([]int32, ncomp)
+	for cid := range owner {
+		owner[cid] = -1
+	}
+
+	ws := make([]*ptopoWorker, workers)
+	for i := range ws {
+		ws[i] = &ptopoWorker{
+			cancel:   sol.cancel.fork(),
+			universe: n,
+			chunk:    arenaChunk(nv, workers),
+		}
+	}
+
+	runComponents(workers, dag, func(w int, cid int32) {
+		ms := members.edges[members.off[cid]:members.off[cid+1]]
+		// Copy elision, exactly as in solveTopoL1: the source
+		// component is a predecessor in the condensed DAG, so its
+		// value is final before this component is scheduled.
+		if len(ms) == 1 {
+			if src, ok := s.l1SingleInflow(ms[0], cid, comp, lhsL1, subSrc); ok {
+				vals[cid] = vals[src]
+				return
+			}
+		}
+		wk := ws[w]
+		val := wk.nextSet()
+		s.evalL1Comp(cid, ms, comp, lhsL1, subSrc, vals, val, &wk.evals, &wk.cancel)
+		vals[cid] = val
+		owner[cid] = ms[0]
+	})
+	for _, wk := range ws {
+		sol.Evaluations += wk.evals
+	}
+
+	// Materialize, as in solveTopoL1: the owning variable keeps the
+	// component's set, every other variable gets its own copy — in
+	// parallel over contiguous variable ranges, each range drawing
+	// from an exactly-sized private batch.
+	parallelRanges(workers, nv, func(lo, hi int) {
+		need := 0
+		for v := lo; v < hi; v++ {
+			if owner[comp[v]] != int32(v) {
+				need++
+			}
+		}
+		batch := intset.NewBatch(n, need)
+		next := 0
+		for v := lo; v < hi; v++ {
+			cid := comp[v]
+			if owner[cid] == int32(v) {
+				sol.setVals[v] = vals[cid]
+				continue
+			}
+			cp := batch[next]
+			next++
+			cp.CopyFrom(vals[cid])
+			sol.setVals[v] = cp
+		}
+	})
+}
+
+// solveParallelL2 computes the level-2 least solution over the
+// pair-variable condensation. Cross terms read the final level-1
+// valuation read-only; bags are written once per component and read
+// only by successors, like vals in level 1. Copy-elided chains alias
+// the source bag, as sequentially.
+func (sol *Solution) solveParallelL2(workers int) {
+	s := sol.sys
+	np := len(s.PairVarNames)
+	if np == 0 {
+		return
+	}
+
+	lhsL2, g := s.l2Graph()
+	comp, ncomp := tarjanSCC(np, g)
+	members := memberCSR(comp, ncomp)
+	dag := condense(comp, ncomp, g)
+	workers = normalizeWorkers(workers, ncomp)
+
+	bags := make([]pairBag, ncomp)
+	cancels := make([]cancelState, workers)
+	evals := make([]int64, workers)
+	for i := range cancels {
+		cancels[i] = sol.cancel.fork()
+	}
+
+	runComponents(workers, dag, func(w int, cid int32) {
+		ms := members.edges[members.off[cid]:members.off[cid+1]]
+		if len(ms) == 1 {
+			if src, ok := s.l2SingleInflow(ms[0], cid, comp, lhsL2, sol.setVals); ok {
+				bags[cid] = bags[src]
+				return
+			}
+		}
+		bags[cid] = s.evalL2Comp(cid, ms, comp, lhsL2, sol.setVals, bags, &evals[w], &cancels[w])
+	})
+	for _, e := range evals {
+		sol.Evaluations += e
+	}
+
+	for v := 0; v < np; v++ {
+		sol.pairVals[v] = bags[comp[v]]
+	}
+}
+
+// parallelRanges splits [0, n) into one contiguous chunk per worker
+// and runs fn on the chunks concurrently, re-panicking the first
+// panic on the caller.
+func parallelRanges(workers, n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	var panicMu sync.Mutex
+	var panicVal any
+	var wg sync.WaitGroup
+	step := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += step {
+		hi := lo + step
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicVal == nil {
+						panicVal = r
+					}
+					panicMu.Unlock()
+				}
+			}()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
+}

@@ -1,0 +1,221 @@
+package constraints
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"fx10/internal/fixtures"
+	"fx10/internal/labels"
+	"fx10/internal/parser"
+	"fx10/internal/progen"
+	"fx10/internal/syntax"
+)
+
+// TestPtopoEqualsTopo checks the parallel solver is bit-identical to
+// the sequential condensation solver — same valuations, same pair
+// bags, and (because the two share their per-component evaluation
+// bodies and elision decisions) the same Evaluations count — across
+// the paper examples, a recursive program, seeded progen sweeps
+// including clocked programs (phase pruning), both modes, and several
+// pool widths.
+func TestPtopoEqualsTopo(t *testing.T) {
+	sources := []string{fixtures.Example21Source, fixtures.Example22Source, recursiveSource}
+	var programs []*syntax.Program
+	for _, src := range sources {
+		programs = append(programs, parser.MustParse(src))
+	}
+	for seed := int64(700); seed < 715; seed++ {
+		programs = append(programs, progen.Generate(seed, progen.Default()))
+	}
+	for seed := int64(800); seed < 815; seed++ {
+		programs = append(programs, progen.Generate(seed, progen.ClockedFinite()))
+	}
+	for pi, p := range programs {
+		for _, mode := range []Mode{ContextSensitive, ContextInsensitive} {
+			sys := Generate(labels.Compute(p), mode)
+			topo := sys.Solve(Options{Topo: true})
+			for _, workers := range []int{0, 1, 2, 4, 8} {
+				pt := sys.Solve(Options{Parallel: true, Workers: workers})
+				if !topo.ValuationEqual(pt) {
+					t.Fatalf("program %d (%v, %d workers): ptopo valuation differs from topo\n%s",
+						pi, mode, workers, syntax.Print(p))
+				}
+				if pt.Evaluations != topo.Evaluations {
+					t.Errorf("program %d (%v, %d workers): ptopo evaluations %d != topo %d",
+						pi, mode, workers, pt.Evaluations, topo.Evaluations)
+				}
+				if pt.IterL1 != 0 || pt.IterL2 != 0 {
+					t.Errorf("program %d (%v): ptopo ran pass-based phases (IterL1=%d IterL2=%d)",
+						pi, mode, pt.IterL1, pt.IterL2)
+				}
+			}
+		}
+	}
+}
+
+// TestPtopoExpiredDeadline checks that every parallel worker honours
+// cancellation: a deadline already in the past makes each worker's
+// first stride poll abort, and the unwind is re-panicked across the
+// pool back to SolveCtx as a plain error.
+func TestPtopoExpiredDeadline(t *testing.T) {
+	sys := cancelSystem(t, ContextSensitive)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	for _, workers := range []int{1, 4} {
+		sol, err := sys.SolveCtx(ctx, Options{Parallel: true, Workers: workers})
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("%d workers: want context.DeadlineExceeded, got %v", workers, err)
+		}
+		if sol != nil {
+			t.Fatalf("%d workers: got partial solution on cancellation", workers)
+		}
+	}
+}
+
+// TestParallelSmokeHugeTier is the CI parallel smoke (make
+// parallel-smoke runs it under -race): a small huge-tier program,
+// solved by topo and by ptopo at several widths, must agree bit for
+// bit. Small enough to stay well inside the smoke-test time budget
+// even with the race detector's overhead.
+func TestParallelSmokeHugeTier(t *testing.T) {
+	p := progen.GenerateHuge(1, progen.Huge(4000))
+	if n := p.NumLabels(); n < 4000 {
+		t.Fatalf("huge tier undershot target: %d labels", n)
+	}
+	sys := Generate(labels.Compute(p), ContextInsensitive)
+	topo := sys.Solve(Options{Topo: true})
+	for _, workers := range []int{2, 4} {
+		pt := sys.Solve(Options{Parallel: true, Workers: workers})
+		if !topo.ValuationEqual(pt) {
+			t.Fatalf("%d workers: ptopo valuation differs from topo on huge tier", workers)
+		}
+		if pt.Evaluations != topo.Evaluations {
+			t.Fatalf("%d workers: ptopo evaluations %d != topo %d", workers, pt.Evaluations, topo.Evaluations)
+		}
+	}
+}
+
+// buildCSR assembles a graphCSR from an explicit edge list.
+func buildCSR(nv int, edges [][2]int32) graphCSR {
+	g := graphCSR{off: make([]int32, nv+1)}
+	for _, e := range edges {
+		g.off[e[0]+1]++
+	}
+	for v := 1; v <= nv; v++ {
+		g.off[v] += g.off[v-1]
+	}
+	g.edges = make([]int32, len(edges))
+	pos := make([]int32, nv)
+	copy(pos, g.off[:nv])
+	for _, e := range edges {
+		g.edges[pos[e[0]]] = e[1]
+		pos[e[0]]++
+	}
+	return g
+}
+
+// checkSCC asserts the two invariants every condensation consumer
+// relies on: the member CSR partitions the nodes (each node appears
+// exactly once, in its own component's slice), and component ids are
+// in reverse topological order (every cross-component edge v→w has
+// comp[w] < comp[v]).
+func checkSCC(t *testing.T, nv int, g graphCSR, comp []int32, ncomp int32) {
+	t.Helper()
+	members := memberCSR(comp, ncomp)
+	seen := make([]bool, nv)
+	for c := int32(0); c < ncomp; c++ {
+		for _, v := range members.edges[members.off[c]:members.off[c+1]] {
+			if comp[v] != c {
+				t.Fatalf("member CSR: node %d listed under component %d but comp[%d]=%d", v, c, v, comp[v])
+			}
+			if seen[v] {
+				t.Fatalf("member CSR: node %d listed twice", v)
+			}
+			seen[v] = true
+		}
+	}
+	for v, s := range seen {
+		if !s {
+			t.Fatalf("member CSR: node %d missing", v)
+		}
+	}
+	for v := 0; v < nv; v++ {
+		for _, w := range g.edges[g.off[v]:g.off[v+1]] {
+			if comp[w] != comp[v] && comp[w] >= comp[v] {
+				t.Fatalf("edge %d→%d violates reverse topological ids: comp %d → %d", v, w, comp[v], comp[w])
+			}
+		}
+	}
+}
+
+// TestTarjanSCCAdversarial drives the iterative Tarjan on shapes that
+// stress it structurally: a single giant cycle (one big SCC), a long
+// path (the recursion-depth proxy — a recursive Tarjan would blow its
+// stack here), star fan-out and fan-in (wide shallow DAGs), and the
+// empty graph.
+func TestTarjanSCCAdversarial(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		comp, ncomp := tarjanSCC(0, buildCSR(0, nil))
+		if ncomp != 0 || len(comp) != 0 {
+			t.Fatalf("empty graph: got %d components over %d nodes", ncomp, len(comp))
+		}
+	})
+
+	t.Run("giant-cycle", func(t *testing.T) {
+		const n = 5000
+		edges := make([][2]int32, n)
+		for i := range edges {
+			edges[i] = [2]int32{int32(i), int32((i + 1) % n)}
+		}
+		g := buildCSR(n, edges)
+		comp, ncomp := tarjanSCC(n, g)
+		if ncomp != 1 {
+			t.Fatalf("giant cycle: got %d components, want 1", ncomp)
+		}
+		checkSCC(t, n, g, comp, ncomp)
+	})
+
+	t.Run("long-path", func(t *testing.T) {
+		const n = 200000
+		edges := make([][2]int32, n-1)
+		for i := range edges {
+			edges[i] = [2]int32{int32(i), int32(i + 1)}
+		}
+		g := buildCSR(n, edges)
+		comp, ncomp := tarjanSCC(n, g)
+		if int(ncomp) != n {
+			t.Fatalf("long path: got %d components, want %d", ncomp, n)
+		}
+		checkSCC(t, n, g, comp, ncomp)
+	})
+
+	t.Run("star-fan-out", func(t *testing.T) {
+		const n = 10000
+		edges := make([][2]int32, n-1)
+		for i := range edges {
+			edges[i] = [2]int32{0, int32(i + 1)}
+		}
+		g := buildCSR(n, edges)
+		comp, ncomp := tarjanSCC(n, g)
+		if int(ncomp) != n {
+			t.Fatalf("fan-out: got %d components, want %d", ncomp, n)
+		}
+		checkSCC(t, n, g, comp, ncomp)
+	})
+
+	t.Run("star-fan-in", func(t *testing.T) {
+		const n = 10000
+		edges := make([][2]int32, n-1)
+		for i := range edges {
+			edges[i] = [2]int32{int32(i + 1), 0}
+		}
+		g := buildCSR(n, edges)
+		comp, ncomp := tarjanSCC(n, g)
+		if int(ncomp) != n {
+			t.Fatalf("fan-in: got %d components, want %d", ncomp, n)
+		}
+		checkSCC(t, n, g, comp, ncomp)
+	})
+}

@@ -40,12 +40,29 @@ type Options struct {
 	// near-minimal constraint evaluations. Wins over both other
 	// flags.
 	Topo bool
+	// Parallel runs the topo solve concurrently: components of the
+	// condensed constraint DAG are scheduled onto a bounded worker
+	// pool as soon as all their predecessors are solved (see
+	// ptopo.go). Results are bit-identical to Topo, including the
+	// Evaluations count. Wins over every other flag.
+	Parallel bool
+	// Workers bounds the parallel solver's pool; ≤ 0 means
+	// runtime.GOMAXPROCS(0). Ignored (normalized to 0) unless
+	// Parallel is set. Worker count never affects results, only wall
+	// clock.
+	Workers int
 }
 
-// Normalize resolves the strategy flags' mutual exclusion: Topo wins
-// over Worklist, which wins over Monolithic. Solve calls this, so it
-// is the single place the invariant is enforced.
+// Normalize resolves the strategy flags' mutual exclusion: Parallel
+// wins over Topo, which wins over Worklist, which wins over
+// Monolithic; Workers is zeroed unless Parallel survives. Solve calls
+// this, so it is the single place the invariant is enforced.
 func (o Options) Normalize() Options {
+	if o.Parallel {
+		o.Topo, o.Worklist, o.Monolithic = false, false, false
+	} else {
+		o.Workers = 0
+	}
 	if o.Topo {
 		o.Worklist, o.Monolithic = false, false
 	}
@@ -123,10 +140,10 @@ func (s *System) solve(ctx context.Context, opts Options) *Solution {
 		IterSlabels: s.Info.Iterations,
 	}
 	sol.cancel.arm(ctx)
-	// The topo solver allocates its own valuation (one slab for all
+	// The topo solvers allocate their own valuation (one slab for all
 	// set variables, aliased pair bags); the iterative solvers start
 	// from an explicit bottom valuation.
-	if !opts.Topo {
+	if !opts.Topo && !opts.Parallel {
 		for i := range sol.setVals {
 			sol.setVals[i] = intset.New(n)
 		}
@@ -136,6 +153,9 @@ func (s *System) solve(ctx context.Context, opts Options) *Solution {
 	}
 
 	switch {
+	case opts.Parallel:
+		sol.solveParallelL1(opts.Workers)
+		sol.solveParallelL2(opts.Workers)
 	case opts.Topo:
 		sol.solveTopoL1()
 		sol.solveTopoL2()

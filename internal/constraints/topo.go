@@ -122,18 +122,16 @@ func memberCSR(comp []int32, ncomp int32) graphCSR {
 	return graphCSR{off: off, edges: nodes}
 }
 
-// solveTopoL1 computes the level-1 least solution by SCC condensation.
-func (sol *Solution) solveTopoL1() {
-	s := sol.sys
+// l1Graph builds the level-1 dependency machinery shared by the
+// sequential (topo) and parallel (ptopo) condensation solvers:
+// lhsL1[v] is the index of the L1 constraint defining v (every set
+// variable is the LHS of exactly one; -1 guards the invariant),
+// subSrc groups subset inflows by Sup in CSR form (the subset sources
+// of v are subSrc.edges[subSrc.off[v]:subSrc.off[v+1]]), and g is the
+// dependency graph with edges source → LHS.
+func (s *System) l1Graph() (lhsL1 []int32, subSrc, g graphCSR) {
 	nv := len(s.SetVarNames)
-	if nv == 0 {
-		return
-	}
-	n := s.P.NumLabels()
-
-	// lhsL1[v] is the index of the L1 constraint defining v (every set
-	// variable is the LHS of exactly one; -1 guards the invariant).
-	lhsL1 := make([]int32, nv)
+	lhsL1 = make([]int32, nv)
 	for i := range lhsL1 {
 		lhsL1[i] = -1
 	}
@@ -141,9 +139,7 @@ func (sol *Solution) solveTopoL1() {
 		lhsL1[c.LHS] = int32(ci)
 	}
 
-	// Subset inflows grouped by Sup, CSR-form: the subset sources of v
-	// are subSrc.edges[subSrc.off[v]:subSrc.off[v+1]].
-	subSrc := graphCSR{off: make([]int32, nv+1)}
+	subSrc = graphCSR{off: make([]int32, nv+1)}
 	if len(s.Subsets) > 0 {
 		for _, c := range s.Subsets {
 			subSrc.off[c.Sup+1]++
@@ -160,8 +156,7 @@ func (sol *Solution) solveTopoL1() {
 		}
 	}
 
-	// Dependency edges source → LHS.
-	g := graphCSR{off: make([]int32, nv+1)}
+	g = graphCSR{off: make([]int32, nv+1)}
 	for _, c := range s.L1s {
 		for _, v := range c.Vars {
 			g.off[v+1]++
@@ -186,7 +181,19 @@ func (sol *Solution) solveTopoL1() {
 		g.edges[pos[c.Sub]] = int32(c.Sup)
 		pos[c.Sub]++
 	}
+	return lhsL1, subSrc, g
+}
 
+// solveTopoL1 computes the level-1 least solution by SCC condensation.
+func (sol *Solution) solveTopoL1() {
+	s := sol.sys
+	nv := len(s.SetVarNames)
+	if nv == 0 {
+		return
+	}
+	n := s.P.NumLabels()
+
+	lhsL1, subSrc, g := s.l1Graph()
 	comp, ncomp := tarjanSCC(nv, g)
 	members := memberCSR(comp, ncomp)
 
@@ -208,35 +215,14 @@ func (sol *Solution) solveTopoL1() {
 		// constant and draws from exactly one earlier component is
 		// that component's value; alias it instead of copying.
 		if len(ms) == 1 {
-			if src, ok := sol.l1SingleInflow(ms[0], cid, comp, lhsL1, subSrc); ok {
+			if src, ok := s.l1SingleInflow(ms[0], cid, comp, lhsL1, subSrc); ok {
 				vals[cid] = vals[src]
 				continue
 			}
 		}
 		val := slab[nextSet]
 		nextSet++
-		for _, m := range ms {
-			if ci := lhsL1[m]; ci >= 0 {
-				sol.Evaluations++
-				sol.checkCancel()
-				c := &s.L1s[ci]
-				if c.Const != nil {
-					val.UnionWith(c.Const)
-				}
-				for _, v := range c.Vars {
-					if comp[v] != cid {
-						val.UnionWith(vals[comp[v]])
-					}
-				}
-			}
-			for _, src := range subSrc.edges[subSrc.off[m]:subSrc.off[m+1]] {
-				sol.Evaluations++
-				sol.checkCancel()
-				if comp[src] != cid {
-					val.UnionWith(vals[comp[src]])
-				}
-			}
-		}
+		s.evalL1Comp(cid, ms, comp, lhsL1, subSrc, vals, val, &sol.Evaluations, &sol.cancel)
 		vals[cid] = val
 		owner[cid] = ms[0]
 	}
@@ -257,12 +243,43 @@ func (sol *Solution) solveTopoL1() {
 	}
 }
 
+// evalL1Comp evaluates every level-1 constraint of one component
+// against the (final) values of its predecessor components,
+// accumulating into val. Both condensation solvers call it — the
+// sequential one with the Solution's own counter and cancel state,
+// the parallel one with a worker's — so the per-component work, and
+// hence the result and the Evaluations count, are identical by
+// construction.
+func (s *System) evalL1Comp(cid int32, ms []int32, comp, lhsL1 []int32, subSrc graphCSR, vals []*intset.Set, val *intset.Set, evals *int64, cancel *cancelState) {
+	for _, m := range ms {
+		if ci := lhsL1[m]; ci >= 0 {
+			*evals++
+			cancel.check()
+			c := &s.L1s[ci]
+			if c.Const != nil {
+				val.UnionWith(c.Const)
+			}
+			for _, v := range c.Vars {
+				if comp[v] != cid {
+					val.UnionWith(vals[comp[v]])
+				}
+			}
+		}
+		for _, src := range subSrc.edges[subSrc.off[m]:subSrc.off[m+1]] {
+			*evals++
+			cancel.check()
+			if comp[src] != cid {
+				val.UnionWith(vals[comp[src]])
+			}
+		}
+	}
+}
+
 // l1SingleInflow reports whether set variable m (a singleton
 // component cid) is a pure copy of exactly one earlier component:
 // no constant, no self-loop, and all variable inflows drawn from one
 // component. Returns that component.
-func (sol *Solution) l1SingleInflow(m int32, cid int32, comp []int32, lhsL1 []int32, subSrc graphCSR) (int32, bool) {
-	s := sol.sys
+func (s *System) l1SingleInflow(m int32, cid int32, comp []int32, lhsL1 []int32, subSrc graphCSR) (int32, bool) {
 	src := int32(-1)
 	ci := lhsL1[m]
 	if ci >= 0 {
@@ -309,7 +326,35 @@ func (sol *Solution) solveTopoL2() {
 		return
 	}
 
-	lhsL2 := make([]int32, np)
+	lhsL2, g := s.l2Graph()
+	comp, ncomp := tarjanSCC(np, g)
+	members := memberCSR(comp, ncomp)
+
+	bags := make([]pairBag, ncomp)
+	for cid := ncomp - 1; cid >= 0; cid-- {
+		ms := members.edges[members.off[cid]:members.off[cid+1]]
+		if len(ms) == 1 {
+			if src, ok := s.l2SingleInflow(ms[0], cid, comp, lhsL2, sol.setVals); ok {
+				bags[cid] = bags[src]
+				continue
+			}
+		}
+		bags[cid] = s.evalL2Comp(cid, ms, comp, lhsL2, sol.setVals, bags, &sol.Evaluations, &sol.cancel)
+	}
+
+	for v := 0; v < np; v++ {
+		sol.pairVals[v] = bags[comp[v]]
+	}
+}
+
+// l2Graph builds the level-2 dependency machinery shared by both
+// condensation solvers: lhsL2[v] is the index of the L2 constraint
+// defining v (-1 if none) and g has dependency edges source → LHS
+// over pair variables only (level-1 is final by the time level-2
+// runs, so cross terms contribute no edges).
+func (s *System) l2Graph() (lhsL2 []int32, g graphCSR) {
+	np := len(s.PairVarNames)
+	lhsL2 = make([]int32, np)
 	for i := range lhsL2 {
 		lhsL2[i] = -1
 	}
@@ -317,7 +362,7 @@ func (sol *Solution) solveTopoL2() {
 		lhsL2[c.LHS] = int32(ci)
 	}
 
-	g := graphCSR{off: make([]int32, np+1)}
+	g = graphCSR{off: make([]int32, np+1)}
 	for _, c := range s.L2s {
 		for _, v := range c.Pairs {
 			g.off[v+1]++
@@ -335,55 +380,44 @@ func (sol *Solution) solveTopoL2() {
 			pos[v]++
 		}
 	}
+	return lhsL2, g
+}
 
-	comp, ncomp := tarjanSCC(np, g)
-	members := memberCSR(comp, ncomp)
-
-	bags := make([]pairBag, ncomp)
-	for cid := ncomp - 1; cid >= 0; cid-- {
-		ms := members.edges[members.off[cid]:members.off[cid+1]]
-		if len(ms) == 1 {
-			if src, ok := sol.l2SingleInflow(ms[0], cid, comp, lhsL2); ok {
-				bags[cid] = bags[src]
-				continue
-			}
-		}
-		// Pre-size the bag to the sum of its inflows so the map grows
-		// once instead of rehashing per union.
-		hint := 0
-		for _, m := range ms {
-			if ci := lhsL2[m]; ci >= 0 {
-				for _, v := range s.L2s[ci].Pairs {
-					if comp[v] != cid {
-						hint += len(bags[comp[v]])
-					}
-				}
-			}
-		}
-		bag := make(pairBag, hint)
-		for _, m := range ms {
-			ci := lhsL2[m]
-			if ci < 0 {
-				continue
-			}
-			sol.Evaluations++
-			sol.checkCancel()
-			c := &s.L2s[ci]
-			for _, ct := range c.Crosses {
-				bag.crossSym(ct.Const, sol.setVals[ct.Var], s.PhaseCode)
-			}
-			for _, v := range c.Pairs {
+// evalL2Comp builds one component's pair bag from its cross terms and
+// the (final) bags of its predecessor components. Shared by both
+// condensation solvers, like evalL1Comp.
+func (s *System) evalL2Comp(cid int32, ms []int32, comp, lhsL2 []int32, setVals []*intset.Set, bags []pairBag, evals *int64, cancel *cancelState) pairBag {
+	// Pre-size the bag to the sum of its inflows so the map grows
+	// once instead of rehashing per union.
+	hint := 0
+	for _, m := range ms {
+		if ci := lhsL2[m]; ci >= 0 {
+			for _, v := range s.L2s[ci].Pairs {
 				if comp[v] != cid {
-					bag.unionWith(bags[comp[v]])
+					hint += len(bags[comp[v]])
 				}
 			}
 		}
-		bags[cid] = bag
 	}
-
-	for v := 0; v < np; v++ {
-		sol.pairVals[v] = bags[comp[v]]
+	bag := make(pairBag, hint)
+	for _, m := range ms {
+		ci := lhsL2[m]
+		if ci < 0 {
+			continue
+		}
+		*evals++
+		cancel.check()
+		c := &s.L2s[ci]
+		for _, ct := range c.Crosses {
+			bag.crossSym(ct.Const, setVals[ct.Var], s.PhaseCode)
+		}
+		for _, v := range c.Pairs {
+			if comp[v] != cid {
+				bag.unionWith(bags[comp[v]])
+			}
+		}
 	}
+	return bag
 }
 
 // l2SingleInflow reports whether pair variable m (a singleton
@@ -391,15 +425,14 @@ func (sol *Solution) solveTopoL2() {
 // effective cross term (level-1 is final, so a cross with an empty
 // operand is permanently empty), no self-loop, and all pair inflows
 // from one component.
-func (sol *Solution) l2SingleInflow(m int32, cid int32, comp []int32, lhsL2 []int32) (int32, bool) {
-	s := sol.sys
+func (s *System) l2SingleInflow(m int32, cid int32, comp []int32, lhsL2 []int32, setVals []*intset.Set) (int32, bool) {
 	ci := lhsL2[m]
 	if ci < 0 {
 		return 0, false
 	}
 	c := &s.L2s[ci]
 	for _, ct := range c.Crosses {
-		if ct.Const != nil && !ct.Const.Empty() && !sol.setVals[ct.Var].Empty() {
+		if ct.Const != nil && !ct.Const.Empty() && !setVals[ct.Var].Empty() {
 			return 0, false
 		}
 	}

@@ -10,7 +10,7 @@ import (
 
 // deltaStrategies are the built-in strategies every incremental result
 // is checked under.
-var deltaStrategies = []string{"phased", "monolithic", "worklist", "topo"}
+var deltaStrategies = []string{"phased", "monolithic", "worklist", "topo", "ptopo"}
 
 // TestAnalyzeDeltaEquivalenceCorpus is the acceptance sweep for the
 // incremental pipeline: 200 seeded (program, single-method edit)

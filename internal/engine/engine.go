@@ -53,6 +53,11 @@ type Config struct {
 	// Workers bounds corpus-level concurrency; ≤ 0 selects
 	// GOMAXPROCS.
 	Workers int
+	// SolverWorkers bounds the solver-internal pool of a
+	// WorkerTunable strategy (ptopo); ≤ 0 keeps the strategy's own
+	// default (GOMAXPROCS), and it is ignored by the sequential
+	// strategies. Worker count never affects results.
+	SolverWorkers int
 	// CacheSize bounds the program-tier result cache in entries. 0
 	// selects the default (128); negative disables caching entirely
 	// — both tiers — (every request re-solves — what
@@ -87,6 +92,11 @@ func New(cfg Config) (*Engine, error) {
 	strat, err := Lookup(cfg.Strategy)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.SolverWorkers > 0 {
+		if wt, ok := strat.(WorkerTunable); ok {
+			strat = wt.WithWorkers(cfg.SolverWorkers)
+		}
 	}
 	workers := cfg.Workers
 	if workers <= 0 {

@@ -13,7 +13,7 @@ import (
 
 func TestRegistryBuiltins(t *testing.T) {
 	got := strings.Join(Strategies(), " ")
-	for _, name := range []string{"phased", "monolithic", "worklist"} {
+	for _, name := range []string{"phased", "monolithic", "worklist", "topo", "ptopo"} {
 		if !strings.Contains(got, name) {
 			t.Errorf("registry missing %q (have %s)", name, got)
 		}

@@ -25,7 +25,7 @@ type Strategy interface {
 // ContextStrategy is a Strategy that supports cooperative
 // cancellation. The engine prefers SolveContext whenever the request
 // context can actually be cancelled; strategies without it still work
-// but run to completion once started. All four built-in strategies
+// but run to completion once started. All five built-in strategies
 // implement it (the constraints solvers poll the context every
 // constraints.CancelStride evaluations).
 type ContextStrategy interface {
@@ -60,8 +60,18 @@ func solveWith(ctx context.Context, strat Strategy, sys *constraints.System) (*c
 // names none: the paper's three-phase solver (Section 5.3).
 const DefaultStrategy = "phased"
 
+// WorkerTunable is a Strategy whose solve can use a bounded worker
+// pool. WithWorkers returns a strategy with the pool width pinned;
+// the name is unchanged, because worker count never affects results —
+// only wall clock — so cached results stay valid across widths.
+// Strategies without internal parallelism return themselves.
+type WorkerTunable interface {
+	Strategy
+	WithWorkers(n int) Strategy
+}
+
 // optionsStrategy adapts a fixed constraints.Options to the Strategy
-// interface — all four built-in strategies are spellings of it. The
+// interface — all five built-in strategies are spellings of it. The
 // adapter holds a normalized Options, so the flag conflicts are
 // unrepresentable for engine callers.
 type optionsStrategy struct {
@@ -77,6 +87,16 @@ func (s optionsStrategy) Solve(sys *constraints.System) *constraints.Solution {
 
 func (s optionsStrategy) SolveContext(ctx context.Context, sys *constraints.System) (*constraints.Solution, error) {
 	return sys.SolveCtx(ctx, s.opts)
+}
+
+// WithWorkers pins the solver pool width. Only the parallel strategy
+// has one; the sequential spellings return themselves unchanged.
+func (s optionsStrategy) WithWorkers(n int) Strategy {
+	if !s.opts.Parallel || n <= 0 {
+		return s
+	}
+	s.opts.Workers = n
+	return s
 }
 
 // FromOptions wraps a constraints.Options as a named Strategy,
@@ -96,6 +116,7 @@ func init() {
 	MustRegister(FromOptions("monolithic", constraints.Options{Monolithic: true}))
 	MustRegister(FromOptions("worklist", constraints.Options{Worklist: true}))
 	MustRegister(FromOptions("topo", constraints.Options{Topo: true}))
+	MustRegister(FromOptions("ptopo", constraints.Options{Parallel: true}))
 }
 
 // Register adds a strategy to the registry. It fails on an empty name
@@ -123,6 +144,18 @@ func MustRegister(s Strategy) {
 	}
 }
 
+// UnknownStrategyError is returned by Lookup for an unregistered
+// name. It is a distinct type so command-line front ends can map it
+// to a usage exit code; Known lists the registered names, sorted.
+type UnknownStrategyError struct {
+	Name  string
+	Known []string
+}
+
+func (e *UnknownStrategyError) Error() string {
+	return fmt.Sprintf("engine: unknown strategy %q (have %v)", e.Name, e.Known)
+}
+
 // Lookup resolves a strategy name; the empty name resolves to
 // DefaultStrategy.
 func Lookup(name string) (Strategy, error) {
@@ -133,7 +166,7 @@ func Lookup(name string) (Strategy, error) {
 	defer registryMu.RUnlock()
 	s, ok := registry[name]
 	if !ok {
-		return nil, fmt.Errorf("engine: unknown strategy %q (have %v)", name, strategyNamesLocked())
+		return nil, &UnknownStrategyError{Name: name, Known: strategyNamesLocked()}
 	}
 	return s, nil
 }

@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"fx10/internal/constraints"
+	"fx10/internal/labels"
+	"fx10/internal/progen"
+	"fx10/internal/syntax"
+)
+
+// The parallel bench measures where concurrent propagation pays:
+// labels-vs-wallclock scaling of the worklist, topo and ptopo
+// strategies on the progen huge tier, with ptopo swept across pool
+// widths. It is the evidence behind the ROADMAP claim that observed
+// cost stays far from the paper's O(n^6) bound at six-figure label
+// counts, and it locates the topo→ptopo crossover. Written as the
+// committed BENCH_parallel.json.
+//
+// Scale discipline: the bench talks to the constraints layer
+// directly (Generate + Solve + PairLen) rather than through
+// engine.Analyze — densifying main's pair set or materializing a
+// types.Env at 100k labels would cost gigabytes for numbers the
+// figure does not use.
+
+// ParallelBenchSizes are the huge-tier label targets swept.
+var ParallelBenchSizes = []int{5000, 20000, 50000, 100000}
+
+// ParallelBenchWorkers are the ptopo pool widths swept.
+var ParallelBenchWorkers = []int{1, 2, 4, 8}
+
+// ParallelBenchSeed fixes the generated programs.
+const ParallelBenchSeed = 1
+
+// ParallelBenchRow is one (size, strategy, workers) measurement.
+type ParallelBenchRow struct {
+	// Size is the configured label target; Labels and Methods are
+	// what the generator actually produced for it.
+	Size    int `json:"size"`
+	Labels  int `json:"labels"`
+	Methods int `json:"methods"`
+	// Strategy is worklist, topo, or ptopo; Workers is the pool
+	// width (0 for the sequential strategies).
+	Strategy string `json:"strategy"`
+	Workers  int    `json:"workers"`
+	// NsPerOp is the best-of-reps wall time of one Solve.
+	NsPerOp int64 `json:"ns_per_op"`
+	// Evaluations is Solution.Evaluations; identical for topo and
+	// ptopo by construction.
+	Evaluations int64 `json:"evaluations"`
+	// MainPairs is the ordered-pair count of main's M variable —
+	// the result every strategy must agree on.
+	MainPairs int `json:"main_pairs"`
+}
+
+// ParallelBench is the full sweep plus the hardware it ran on — the
+// crossover is hardware-dependent, so the figure is meaningless
+// without NumCPU/GOMAXPROCS alongside it.
+type ParallelBench struct {
+	Go         string             `json:"go"`
+	GOOS       string             `json:"goos"`
+	GOARCH     string             `json:"goarch"`
+	NumCPU     int                `json:"num_cpu"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Seed       int64              `json:"seed"`
+	Reps       int                `json:"reps"`
+	Rows       []ParallelBenchRow `json:"rows"`
+}
+
+// RunParallelBench generates one huge-tier program per size and races
+// worklist, topo and ptopo-at-each-width on its constraint system.
+// Every ptopo solution is verified bit-identical to topo's before its
+// time is recorded: a fast wrong answer must never enter the figure.
+func RunParallelBench(reps int) (ParallelBench, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	bench := ParallelBench{
+		Go:         runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Seed:       ParallelBenchSeed,
+		Reps:       reps,
+	}
+	for _, size := range ParallelBenchSizes {
+		p := progen.GenerateHuge(ParallelBenchSeed, progen.Huge(size))
+		sys := constraints.Generate(labels.Compute(p), constraints.ContextInsensitive)
+		mainM := sys.MethodM[sys.P.MainIndex]
+		meta := ParallelBenchRow{Size: size, Labels: p.NumLabels(), Methods: len(p.Methods)}
+
+		topoRef, topoRow := measureParallelCell(sys, constraints.Options{Topo: true}, reps, meta, "topo", 0, mainM)
+		wlRow := func() ParallelBenchRow {
+			_, r := measureParallelCell(sys, constraints.Options{Worklist: true}, reps, meta, "worklist", 0, mainM)
+			return r
+		}()
+		bench.Rows = append(bench.Rows, wlRow, topoRow)
+		for _, workers := range ParallelBenchWorkers {
+			opts := constraints.Options{Parallel: true, Workers: workers}
+			sol, row := measureParallelCell(sys, opts, reps, meta, "ptopo", workers, mainM)
+			if !topoRef.ValuationEqual(sol) {
+				return bench, fmt.Errorf("parallel bench: ptopo (%d workers) diverges from topo at %d labels on %s",
+					workers, meta.Labels, syntax.Print(p)[:120])
+			}
+			bench.Rows = append(bench.Rows, row)
+		}
+	}
+	return bench, nil
+}
+
+// measureParallelCell solves once for the (deterministic) counters
+// and verification solution, then times reps further solves and keeps
+// the fastest.
+func measureParallelCell(sys *constraints.System, opts constraints.Options, reps int, meta ParallelBenchRow, strategy string, workers int, mainM constraints.PairVar) (*constraints.Solution, ParallelBenchRow) {
+	warm := sys.Solve(opts)
+	row := meta
+	row.Strategy = strategy
+	row.Workers = workers
+	row.Evaluations = warm.Evaluations
+	row.MainPairs = warm.PairLen(mainM)
+	best := warm.Duration
+	for rep := 0; rep < reps; rep++ {
+		t0 := time.Now()
+		sys.Solve(opts)
+		if d := time.Since(t0); d < best {
+			best = d
+		}
+	}
+	row.NsPerOp = best.Nanoseconds()
+	return warm, row
+}
+
+// ParallelCrossover scans the sweep's largest size for the smallest
+// pool width at which ptopo beats sequential topo, returning the
+// speedup there. ok is false when no width wins — the honest result
+// on a single-core host, where the scheduler's overhead has no
+// parallelism to pay for it.
+func ParallelCrossover(bench ParallelBench) (workers int, speedup float64, ok bool) {
+	maxSize := 0
+	for _, r := range bench.Rows {
+		if r.Size > maxSize {
+			maxSize = r.Size
+		}
+	}
+	var topoNs int64
+	for _, r := range bench.Rows {
+		if r.Size == maxSize && r.Strategy == "topo" {
+			topoNs = r.NsPerOp
+		}
+	}
+	if topoNs == 0 {
+		return 0, 0, false
+	}
+	for _, r := range bench.Rows {
+		if r.Size == maxSize && r.Strategy == "ptopo" && r.NsPerOp < topoNs {
+			return r.Workers, float64(topoNs) / float64(r.NsPerOp), true
+		}
+	}
+	return 0, 0, false
+}
+
+// FormatParallelBench renders the sweep as an aligned table plus the
+// crossover verdict.
+func FormatParallelBench(bench ParallelBench) string {
+	var b strings.Builder
+	tw := newTable(&b, "labels", "methods", "strategy", "workers", "ms/op", "evals", "main pairs")
+	for _, r := range bench.Rows {
+		w := "-"
+		if r.Workers > 0 {
+			w = fmt.Sprint(r.Workers)
+		}
+		tw.row(fmt.Sprint(r.Labels), fmt.Sprint(r.Methods), r.Strategy, w,
+			fmt.Sprintf("%.1f", float64(r.NsPerOp)/1e6),
+			fmt.Sprint(r.Evaluations),
+			fmt.Sprint(r.MainPairs))
+	}
+	tw.flush()
+	fmt.Fprintf(&b, "(%s %s/%s, %d CPUs, GOMAXPROCS=%d, best of %d+1 reps)\n",
+		bench.Go, bench.GOOS, bench.GOARCH, bench.NumCPU, bench.GOMAXPROCS, bench.Reps)
+	if workers, speedup, ok := ParallelCrossover(bench); ok {
+		fmt.Fprintf(&b, "crossover: ptopo beats topo from %d workers (%.2fx at the largest size)\n", workers, speedup)
+	} else {
+		fmt.Fprintf(&b, "crossover: none on this host — with %d CPUs the pool has no parallelism to sell\n", bench.NumCPU)
+	}
+	return b.String()
+}
+
+// WriteParallelBenchJSON writes the sweep machine-readably (the
+// committed BENCH_parallel.json).
+func WriteParallelBenchJSON(bench ParallelBench, path string) error {
+	data, err := json.MarshalIndent(bench, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

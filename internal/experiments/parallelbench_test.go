@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunParallelBenchAgreement shrinks the sweep and checks its
+// internal consistency: every strategy row of a size reports the same
+// main-M pair count, topo and ptopo report identical evaluation
+// counts, and the ptopo-vs-topo verification inside the bench passes.
+func TestRunParallelBenchAgreement(t *testing.T) {
+	oldSizes, oldWorkers := ParallelBenchSizes, ParallelBenchWorkers
+	ParallelBenchSizes, ParallelBenchWorkers = []int{800}, []int{1, 2}
+	defer func() { ParallelBenchSizes, ParallelBenchWorkers = oldSizes, oldWorkers }()
+
+	bench, err := RunParallelBench(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 + len(ParallelBenchWorkers); len(bench.Rows) != want {
+		t.Fatalf("got %d rows, want %d", len(bench.Rows), want)
+	}
+	var topoEvals int64
+	pairs := bench.Rows[0].MainPairs
+	for _, r := range bench.Rows {
+		if r.MainPairs != pairs {
+			t.Errorf("%s/%d: main pairs %d != %d", r.Strategy, r.Workers, r.MainPairs, pairs)
+		}
+		if r.NsPerOp <= 0 {
+			t.Errorf("%s/%d: non-positive ns/op", r.Strategy, r.Workers)
+		}
+		if r.Strategy == "topo" {
+			topoEvals = r.Evaluations
+		}
+	}
+	for _, r := range bench.Rows {
+		if r.Strategy == "ptopo" && r.Evaluations != topoEvals {
+			t.Errorf("ptopo/%d evaluations %d != topo %d", r.Workers, r.Evaluations, topoEvals)
+		}
+	}
+	if FormatParallelBench(bench) == "" {
+		t.Error("empty formatted table")
+	}
+
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := WriteParallelBenchJSON(bench, path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ParallelBench
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Rows) != len(bench.Rows) || back.NumCPU != bench.NumCPU {
+		t.Fatal("JSON round-trip lost rows or environment")
+	}
+}
+
+// TestParallelCrossover pins the crossover scan on synthetic rows:
+// it must pick the smallest winning width at the largest size, and
+// report ok=false when ptopo never wins.
+func TestParallelCrossover(t *testing.T) {
+	rows := []ParallelBenchRow{
+		{Size: 100, Strategy: "topo", NsPerOp: 50},
+		{Size: 100, Strategy: "ptopo", Workers: 2, NsPerOp: 10},
+		{Size: 200, Strategy: "topo", NsPerOp: 100},
+		{Size: 200, Strategy: "ptopo", Workers: 1, NsPerOp: 120},
+		{Size: 200, Strategy: "ptopo", Workers: 2, NsPerOp: 80},
+		{Size: 200, Strategy: "ptopo", Workers: 4, NsPerOp: 40},
+	}
+	workers, speedup, ok := ParallelCrossover(ParallelBench{Rows: rows})
+	if !ok || workers != 2 || speedup != 100.0/80 {
+		t.Fatalf("got (%d, %v, %v), want (2, 1.25, true)", workers, speedup, ok)
+	}
+	if _, _, ok := ParallelCrossover(ParallelBench{Rows: rows[2:4]}); ok {
+		t.Fatal("crossover reported where ptopo never wins")
+	}
+	if _, _, ok := ParallelCrossover(ParallelBench{}); ok {
+		t.Fatal("crossover reported on empty bench")
+	}
+}

@@ -1,0 +1,128 @@
+package intset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestNewPairsBatchIndependence checks slab-backed pair sets never
+// observably share storage: writes to one member must not appear in
+// any sibling.
+func TestNewPairsBatchIndependence(t *testing.T) {
+	const n, k = 70, 9
+	batch := NewPairsBatch(n, k)
+	if len(batch) != k {
+		t.Fatalf("NewPairsBatch returned %d sets, want %d", len(batch), k)
+	}
+	for i, p := range batch {
+		p.Add(i, n-1-i)
+	}
+	for i, p := range batch {
+		if p.Len() != 1 || !p.Has(i, n-1-i) {
+			t.Fatalf("set %d corrupted: %v", i, p)
+		}
+		for j, q := range batch {
+			if j != i && q.Has(i, n-1-i) {
+				t.Fatalf("write to set %d bled into set %d", i, j)
+			}
+		}
+	}
+	if NewPairsBatch(n, 0) != nil {
+		t.Fatal("NewPairsBatch(n, 0) should be nil")
+	}
+}
+
+// TestPairSetCopyFromModel drives random mixed operations over a
+// batch of pair sets against a pure-map reference model: CopyFrom
+// (the Clone-into-arena fast path), Add, AddSym, CrossSym, UnionWith
+// and Clear must all leave every set equal to its model.
+func TestPairSetCopyFromModel(t *testing.T) {
+	const n, k, ops = 67, 5, 2000
+	rng := rand.New(rand.NewSource(42))
+	batch := NewPairsBatch(n, k)
+	model := make([]map[[2]int]bool, k)
+	for i := range model {
+		model[i] = map[[2]int]bool{}
+	}
+
+	for op := 0; op < ops; op++ {
+		i := rng.Intn(k)
+		switch rng.Intn(6) {
+		case 0:
+			a, b := rng.Intn(n), rng.Intn(n)
+			batch[i].Add(a, b)
+			model[i][[2]int{a, b}] = true
+		case 1:
+			a, b := rng.Intn(n), rng.Intn(n)
+			batch[i].AddSym(a, b)
+			model[i][[2]int{a, b}] = true
+			model[i][[2]int{b, a}] = true
+		case 2:
+			a, b := New(n), New(n)
+			for x := 0; x < rng.Intn(8); x++ {
+				a.Add(rng.Intn(n))
+			}
+			for x := 0; x < rng.Intn(8); x++ {
+				b.Add(rng.Intn(n))
+			}
+			batch[i].CrossSym(a, b)
+			for _, x := range a.Elems() {
+				for _, y := range b.Elems() {
+					model[i][[2]int{x, y}] = true
+					model[i][[2]int{y, x}] = true
+				}
+			}
+		case 3:
+			j := rng.Intn(k)
+			batch[i].UnionWith(batch[j])
+			for pr := range model[j] {
+				model[i][pr] = true
+			}
+		case 4:
+			j := rng.Intn(k)
+			batch[i].CopyFrom(batch[j])
+			src := model[j]
+			model[i] = make(map[[2]int]bool, len(src))
+			for pr := range src {
+				model[i][pr] = true
+			}
+		case 5:
+			batch[i].Clear()
+			model[i] = map[[2]int]bool{}
+		}
+
+		if batch[i].Len() != len(model[i]) {
+			t.Fatalf("op %d: set %d Len = %d, model has %d", op, i, batch[i].Len(), len(model[i]))
+		}
+	}
+
+	for i, p := range batch {
+		for _, pr := range p.Pairs() {
+			if !model[i][pr] {
+				t.Fatalf("set %d has extra pair %v", i, pr)
+			}
+		}
+		for pr := range model[i] {
+			if !p.Has(pr[0], pr[1]) {
+				t.Fatalf("set %d missing pair %v", i, pr)
+			}
+		}
+	}
+}
+
+// TestPairSetCopyFromInvalidatesMemo pins the subtle part of
+// CopyFrom: overwriting can shrink the set, so the CrossSym memo must
+// not suppress a re-fold of operands it saw before the copy.
+func TestPairSetCopyFromInvalidatesMemo(t *testing.T) {
+	const n = 16
+	a, b := Of(n, 1), Of(n, 2)
+	p, empty := NewPairs(n), NewPairs(n)
+	p.CrossSym(a, b)
+	p.CopyFrom(empty)
+	if !p.CrossSym(a, b) {
+		t.Fatal("CrossSym after CopyFrom reported no change")
+	}
+	if !p.Has(1, 2) || !p.Has(2, 1) {
+		t.Fatalf("memo suppressed re-fold after CopyFrom: %v", p)
+	}
+}

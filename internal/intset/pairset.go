@@ -39,6 +39,30 @@ func NewPairs(n int) *PairSet {
 	return &PairSet{n: n, w: w, words: make([]uint64, n*w)}
 }
 
+// NewPairsBatch returns k independent empty pair sets over
+// {0,…,n-1} × {0,…,n-1} backed by a single slab allocation — the
+// pair-set analog of NewBatch. A caller that materializes many pair
+// sets at once (cloning a type environment, a solver worker filling
+// its arena) allocates 3 objects instead of 2k; the sets are
+// otherwise ordinary and never observably shared.
+func NewPairsBatch(n, k int) []*PairSet {
+	if n < 0 {
+		panic(fmt.Sprintf("intset: negative universe size %d", n))
+	}
+	if k <= 0 {
+		return nil
+	}
+	w := wordsFor(n)
+	slab := make([]uint64, k*n*w)
+	sets := make([]PairSet, k)
+	out := make([]*PairSet, k)
+	for i := range sets {
+		sets[i] = PairSet{n: n, w: w, words: slab[i*n*w : (i+1)*n*w : (i+1)*n*w]}
+		out[i] = &sets[i]
+	}
+	return out
+}
+
 // Universe returns the per-coordinate universe size.
 func (p *PairSet) Universe() int { return p.n }
 
@@ -162,6 +186,20 @@ func (p *PairSet) Clone() *PairSet {
 	c := &PairSet{n: p.n, w: p.w, words: make([]uint64, len(p.words)), count: p.count}
 	copy(c.words, p.words)
 	return c
+}
+
+// CopyFrom overwrites p with the contents of q — the Clone-into-arena
+// fast path: a single word copy into already-allocated (typically
+// NewPairsBatch slab) storage. The pair sets must share a universe
+// size. The CrossSym memo is invalidated: overwriting may shrink the
+// set, so earlier folds no longer prove anything.
+func (p *PairSet) CopyFrom(q *PairSet) {
+	if p.n != q.n {
+		panic(fmt.Sprintf("intset: mismatched pair universes %d and %d", p.n, q.n))
+	}
+	copy(p.words, q.words)
+	p.count = q.count
+	p.memoOK, p.lastA, p.lastB = false, nil, nil
 }
 
 // Clear removes all pairs and invalidates the CrossSym memo.

@@ -1,0 +1,65 @@
+package progen
+
+import (
+	"testing"
+
+	"fx10/internal/parser"
+	"fx10/internal/syntax"
+)
+
+func TestGenerateHugeValidatesAndMeetsTarget(t *testing.T) {
+	for _, target := range []int{1, 500, 5000} {
+		for seed := int64(0); seed < 3; seed++ {
+			p := GenerateHuge(seed, Huge(target))
+			if err := syntax.Validate(p); err != nil {
+				t.Fatalf("target %d seed %d: %v", target, seed, err)
+			}
+			if n := p.NumLabels(); n < target {
+				t.Errorf("target %d seed %d: only %d labels", target, seed, n)
+			}
+		}
+	}
+}
+
+func TestGenerateHugeDeterministic(t *testing.T) {
+	a := syntax.Print(GenerateHuge(7, Huge(2000)))
+	b := syntax.Print(GenerateHuge(7, Huge(2000)))
+	if a != b {
+		t.Fatal("huge generation not deterministic in seed")
+	}
+	if a == syntax.Print(GenerateHuge(8, Huge(2000))) {
+		t.Fatal("distinct seeds produced identical programs")
+	}
+}
+
+func TestGenerateHugeRoundTrip(t *testing.T) {
+	p := GenerateHuge(3, Huge(1500))
+	printed := syntax.Print(p)
+	q, err := parser.Parse(printed)
+	if err != nil {
+		t.Fatalf("reparse failed: %v", err)
+	}
+	if syntax.Print(q) != printed {
+		t.Fatal("print/parse not a fixpoint on huge tier")
+	}
+}
+
+// TestGenerateHugeShape pins the structural claims the scale tier
+// makes: a deep acyclic call tree (every call is forward, depth grows
+// with size) and per-method async groups.
+func TestGenerateHugeShape(t *testing.T) {
+	cfg := Huge(3000)
+	p := GenerateHuge(1, cfg)
+	if len(p.Methods) < 50 {
+		t.Fatalf("expected a wide method tree, got %d methods", len(p.Methods))
+	}
+	// Heap indexing gives depth ≈ log_Branch(methods); the chain
+	// f0 → f1 → f5 → … follows first children down the tree.
+	depth := 0
+	for i := 0; i < len(p.Methods)-1; i = cfg.Branch*i + 1 {
+		depth++
+	}
+	if depth < 3 {
+		t.Fatalf("call tree too shallow: depth %d over %d methods", depth, len(p.Methods))
+	}
+}

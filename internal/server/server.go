@@ -55,6 +55,10 @@ type Config struct {
 	QueueDepth int
 	// Strategy names the engine solver strategy ("" = default).
 	Strategy string
+	// SolverWorkers bounds the solver-internal pool when Strategy is
+	// parallel (e.g. ptopo); ≤ 0 keeps the strategy default. Distinct
+	// from Workers, which bounds concurrent solves across requests.
+	SolverWorkers int
 	// CacheSize / SummaryCacheSize size the engine's cache tiers
 	// (0 = engine defaults).
 	CacheSize        int
@@ -126,6 +130,7 @@ func New(cfg Config) (*Server, error) {
 	eng, err := engine.New(engine.Config{
 		Strategy:         cfg.Strategy,
 		Workers:          cfg.Workers,
+		SolverWorkers:    cfg.SolverWorkers,
 		CacheSize:        cfg.CacheSize,
 		SummaryCacheSize: cfg.SummaryCacheSize,
 	})

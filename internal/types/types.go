@@ -54,18 +54,31 @@ type Env []Summary
 // program with the given label universe.
 func NewEnv(p *syntax.Program) Env {
 	n := p.NumLabels()
+	ms := intset.NewPairsBatch(n, len(p.Methods))
+	os := intset.NewBatch(n, len(p.Methods))
 	env := make(Env, len(p.Methods))
 	for i := range env {
-		env[i] = Summary{M: intset.NewPairs(n), O: intset.New(n)}
+		env[i] = Summary{M: ms[i], O: os[i]}
 	}
 	return env
 }
 
-// Clone returns an independent copy of the environment.
+// Clone returns an independent copy of the environment. The copies
+// are materialized into one batch slab per kind (every summary of an
+// environment shares the program's label universe), a word copy per
+// summary rather than 2·|methods| allocations.
 func (e Env) Clone() Env {
 	c := make(Env, len(e))
+	if len(e) == 0 {
+		return c
+	}
+	n := e[0].O.Universe()
+	ms := intset.NewPairsBatch(n, len(e))
+	os := intset.NewBatch(n, len(e))
 	for i := range e {
-		c[i] = e[i].Clone()
+		ms[i].CopyFrom(e[i].M)
+		os[i].CopyFrom(e[i].O)
+		c[i] = Summary{M: ms[i], O: os[i]}
 	}
 	return c
 }
