@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: verify build vet test race bench benchsmoke profile figures solverbench incrementalbench clockedbench parallelbench serverbench serversmoke fuzz fuzz-smoke clocked-smoke parallel-smoke
+.PHONY: verify build vet test race bench benchsmoke profile figures solverbench incrementalbench clockedbench parallelbench serverbench serversmoke storebench store-smoke fuzz fuzz-smoke clocked-smoke parallel-smoke
 
 verify: build vet race
 
@@ -68,6 +68,19 @@ serverbench:
 # fails on transport errors or any status outside 2xx/429.
 serversmoke:
 	./scripts/server_smoke.sh
+
+# storebench regenerates the committed persistent-summary-store
+# figure: per-workload cold starts with no/empty/warm store, plus
+# cached-query throughput with and without the store.
+storebench:
+	$(GO) run ./cmd/mhpbench -figure store -benchjson BENCH_store.json
+
+# store-smoke is the CI gate for the persistent summary store: the
+# in-process restart scenario plus a real fx10d (built -race) killed
+# with SIGTERM and restarted on the same store directory, asserting
+# byte-identical reports and warm summary hits in /metrics.
+store-smoke:
+	./scripts/store_smoke.sh
 
 figures:
 	$(GO) run ./cmd/mhpbench -figure all

@@ -24,8 +24,12 @@ import (
 )
 
 // loadgen drives a server (or, with -addr "", an in-process one) with
-// a seeded mix of query/analyze/delta traffic over the 13-workload
-// corpus and reports client-side latency percentiles.
+// a seeded mix of query/analyze/delta/batch traffic over the
+// 13-workload corpus and reports client-side latency percentiles.
+// With -scenario restart it instead exercises the persistent summary
+// store end to end: warm a server, shut it down cleanly, restart on
+// the same store directory, and check that the restarted server
+// warm-starts (nonzero store hits) with byte-identical reports.
 
 type lgConfig struct {
 	addr        string
@@ -34,6 +38,8 @@ type lgConfig struct {
 	seed        int64
 	mix         string
 	mode        string
+	scenario    string
+	store       string // selfserve: summary store directory
 	jsonOut     bool
 	strict      bool
 	workers     int // selfserve only
@@ -47,8 +53,10 @@ func runLoadgen(args []string) error {
 	fs.IntVar(&cfg.concurrency, "c", 8, "concurrent clients")
 	fs.DurationVar(&cfg.duration, "duration", 10*time.Second, "traffic duration (after warmup)")
 	fs.Int64Var(&cfg.seed, "seed", 1, "rng seed (traffic is deterministic per seed)")
-	fs.StringVar(&cfg.mix, "mix", "query=8,analyze=3,delta=1", "weighted op mix")
+	fs.StringVar(&cfg.mix, "mix", "query=8,analyze=3,delta=1", "weighted op mix (ops: query, analyze, delta, batch)")
 	fs.StringVar(&cfg.mode, "mode", "cs", "analysis mode (cs or ci)")
+	fs.StringVar(&cfg.scenario, "scenario", "", `named scenario instead of mixed traffic ("restart")`)
+	fs.StringVar(&cfg.store, "store", "", "selfserve: persistent summary store directory")
 	fs.BoolVar(&cfg.jsonOut, "json", false, "emit the report as JSON on stdout")
 	fs.BoolVar(&cfg.strict, "strict", false, "exit non-zero on transport errors or any status outside 2xx/429 (CI smoke)")
 	fs.IntVar(&cfg.workers, "workers", 0, "selfserve: solve workers")
@@ -59,6 +67,15 @@ func runLoadgen(args []string) error {
 	weights, err := parseMix(cfg.mix)
 	if err != nil {
 		return err
+	}
+
+	if cfg.scenario != "" {
+		switch cfg.scenario {
+		case "restart":
+			return runRestartScenario(cfg)
+		default:
+			return fmt.Errorf("unknown scenario %q (want restart)", cfg.scenario)
+		}
 	}
 
 	base := cfg.addr
@@ -148,6 +165,16 @@ func runLoadgen(args []string) error {
 					status, err = post(client, base+"/v1/delta", server.DeltaRequest{
 						Session: sessID, Source: syntax.Print(sessProg), Mode: cfg.mode,
 					}, nil)
+				case "batch":
+					// A small corpus submission: 2–4 random workloads in
+					// one request, one admission slot server-side.
+					n := 2 + rng.Intn(3)
+					req := server.BatchRequest{Mode: cfg.mode}
+					for k := 0; k < n; k++ {
+						bt := targets[rng.Intn(len(targets))]
+						req.Programs = append(req.Programs, server.BatchProgram{Name: bt.name, Source: bt.source})
+					}
+					status, err = post(client, base+"/v1/batch", req, nil)
 				}
 				if err != nil {
 					errorsN.Add(1)
@@ -184,7 +211,11 @@ func runLoadgen(args []string) error {
 
 // selfserve starts an in-process server on a loopback port.
 func selfserve(cfg lgConfig) (addr string, shutdown func(), err error) {
-	srv, err := server.New(server.Config{Workers: cfg.workers, QueueDepth: cfg.queue})
+	srv, err := server.New(server.Config{
+		Workers:          cfg.workers,
+		QueueDepth:       cfg.queue,
+		SummaryStorePath: cfg.store,
+	})
 	if err != nil {
 		return "", nil, err
 	}
@@ -238,10 +269,10 @@ func parseMix(s string) (map[string]int, error) {
 			return nil, fmt.Errorf("bad mix weight %q", v)
 		}
 		switch k {
-		case "query", "analyze", "delta":
+		case "query", "analyze", "delta", "batch":
 			out[k] = n
 		default:
-			return nil, fmt.Errorf("unknown op %q (want query, analyze or delta)", k)
+			return nil, fmt.Errorf("unknown op %q (want query, analyze, delta or batch)", k)
 		}
 	}
 	return out, nil
@@ -256,7 +287,7 @@ func pickOp(rng *rand.Rand, weights map[string]int) string {
 		return "query"
 	}
 	n := rng.Intn(total)
-	for _, op := range []string{"query", "analyze", "delta"} {
+	for _, op := range []string{"query", "analyze", "delta", "batch"} {
 		if n -= weights[op]; n < 0 {
 			return op
 		}
@@ -346,7 +377,7 @@ func printReport(w io.Writer, rep lgReport) {
 	for _, c := range codes {
 		fmt.Fprintf(w, "  status %s: %d\n", c, rep.Statuses[c])
 	}
-	for _, op := range []string{"query", "analyze", "delta"} {
+	for _, op := range []string{"query", "analyze", "delta", "batch"} {
 		st, ok := rep.Ops[op]
 		if !ok {
 			continue

@@ -50,6 +50,7 @@ func runServe(args []string) error {
 		strategy   = fs.String("strategy", "", "solver strategy (empty = default)")
 		solverW    = fs.Int("solver-workers", 0, "pool width inside parallel strategies like ptopo (0 = strategy default)")
 		cache      = fs.Int("cache", 0, "program cache entries (0 = default)")
+		sumStore   = fs.String("summary-store", "", "directory for the persistent method-summary store (empty = disabled)")
 		solveTO    = fs.Duration("solve-timeout", 30*time.Second, "per-solve ceiling")
 		reqTO      = fs.Duration("request-timeout", 10*time.Second, "per-request deadline")
 		drainGrace = fs.Duration("drain-grace", 15*time.Second, "max time to finish in-flight requests on shutdown")
@@ -59,13 +60,14 @@ func runServe(args []string) error {
 	}
 
 	srv, err := server.New(server.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		Strategy:       *strategy,
-		SolverWorkers:  *solverW,
-		CacheSize:      *cache,
-		SolveTimeout:   *solveTO,
-		RequestTimeout: *reqTO,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		Strategy:         *strategy,
+		SolverWorkers:    *solverW,
+		CacheSize:        *cache,
+		SummaryStorePath: *sumStore,
+		SolveTimeout:     *solveTO,
+		RequestTimeout:   *reqTO,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"fx10/internal/server"
+	"fx10/internal/syntax"
+	"fx10/internal/workloads"
+)
+
+// runRestartScenario exercises the persistent summary store across a
+// simulated daemon restart:
+//
+//  1. start a server with a summary store, analyze the full workload
+//     corpus, record every report, shut the server down cleanly;
+//  2. start a fresh server on the same store directory, analyze the
+//     corpus again;
+//  3. assert the restarted server's reports are byte-identical and
+//     that its first analyzes warm-started from disk (nonzero
+//     summary-store hits in /metrics).
+//
+// Any violated assertion is an error regardless of -strict: the
+// scenario exists to be a CI gate for the store.
+func runRestartScenario(cfg lgConfig) error {
+	if cfg.addr != "" {
+		return fmt.Errorf("scenario restart drives in-process servers; drop -addr")
+	}
+	dir := cfg.store
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "fx10d-restart-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	corpus := workloads.All()
+
+	// Phase 1: populate the store.
+	phase1 := cfg
+	phase1.store = dir
+	base, shutdown, err := selfserve(phase1)
+	if err != nil {
+		return err
+	}
+	want := make(map[string][]byte, len(corpus))
+	for _, b := range corpus {
+		rep, err := analyzeReport(client, base, syntax.Print(b.Program()), cfg.mode)
+		if err != nil {
+			shutdown()
+			return fmt.Errorf("warm phase %s: %w", b.Name, err)
+		}
+		want[b.Name] = rep
+	}
+	// Clean shutdown: server.Close → engine.Close → store sync +
+	// snapshot, the same path a drained fx10d takes on SIGTERM.
+	shutdown()
+
+	// Phase 2: a cold process, a warm disk.
+	base, shutdown, err = selfserve(phase1)
+	if err != nil {
+		return err
+	}
+	defer shutdown()
+	for _, b := range corpus {
+		rep, err := analyzeReport(client, base, syntax.Print(b.Program()), cfg.mode)
+		if err != nil {
+			return fmt.Errorf("restart phase %s: %w", b.Name, err)
+		}
+		if !bytes.Equal(rep, want[b.Name]) {
+			return fmt.Errorf("restart phase %s: report differs from pre-restart run", b.Name)
+		}
+	}
+
+	var m struct {
+		SummaryStore struct {
+			Enabled bool   `json:"enabled"`
+			Records int    `json:"records"`
+			Hits    uint64 `json:"hits"`
+			Misses  uint64 `json:"misses"`
+		} `json:"summaryStore"`
+	}
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return fmt.Errorf("decode /metrics: %w", err)
+	}
+	if !m.SummaryStore.Enabled {
+		return fmt.Errorf("restarted server reports no summary store")
+	}
+	if m.SummaryStore.Hits == 0 {
+		return fmt.Errorf("restarted server recorded no summary-store hits (records=%d misses=%d): cold start, not warm",
+			m.SummaryStore.Records, m.SummaryStore.Misses)
+	}
+	fmt.Fprintf(os.Stdout,
+		"restart scenario: %d workloads byte-identical across restart; store records=%d, warm hits=%d, misses=%d\n",
+		len(corpus), m.SummaryStore.Records, m.SummaryStore.Hits, m.SummaryStore.Misses)
+	return nil
+}
+
+// analyzeReport posts one analyze and returns the report's canonical
+// JSON bytes (mhp.Report marshals deterministically).
+func analyzeReport(client *http.Client, base, source, mode string) ([]byte, error) {
+	var resp server.AnalyzeResponse
+	status, err := post(client, base+"/v1/analyze", server.AnalyzeRequest{Source: source, Mode: mode}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, fmt.Errorf("status %d", status)
+	}
+	return json.Marshal(resp.Report)
+}

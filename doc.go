@@ -11,10 +11,17 @@
 // components of the condensed constraint graph onto a bounded worker
 // pool, bit-identical to its sequential counterpart), a two-tier
 // content-hash cache (whole-program results and cross-program method
-// summaries) and method-granular incremental re-analysis
-// (engine.AnalyzeDelta), all differentially fuzzed against exact and
-// observed parallelism and scale-tested on generated programs past
-// 100k labels (internal/progen's huge tier, BENCH_parallel.json). The Section 8 clocks
+// summaries, the latter optionally backed by a crash-safe persistent
+// store (internal/sumstore) so summaries survive restarts and are
+// shared across processes) and method-granular incremental
+// re-analysis (engine.AnalyzeDelta), all differentially fuzzed
+// against exact and observed parallelism and scale-tested on
+// generated programs past 100k labels (internal/progen's huge tier,
+// BENCH_parallel.json). The engine also serves as a long-lived
+// HTTP/JSON daemon (cmd/fx10d): admission-controlled solves,
+// singleflight coalescing, batch corpus submission under one
+// admission slot (/v1/batch), editor delta sessions, and live
+// metrics including the summary store's warm-start hit rate. The Section 8 clocks
 // extension is analyzed, not just executed: per-label phase
 // inference (internal/clocks) feeds phase-ordering facts into
 // constraint solving, so barrier-separated pairs are pruned

@@ -123,12 +123,14 @@ func (e *Engine) AnalyzeDeltaCtx(ctx context.Context, base *Result, edited *synt
 		ConstraintsReevaluated: dinfo.ConstraintsReevaluated,
 		Full:                   dinfo.Full,
 	}
-	// Probe the summary tier for the re-solved methods before storing
-	// this run's summaries: a hit means some already-analyzed program
-	// had a content-identical method (cross-program sharing).
-	if e.summaries != nil && mode == constraints.ContextSensitive {
+	// Probe the summary tier (memory or disk) for the re-solved
+	// methods before storing this run's summaries: a hit means some
+	// already-analyzed program — in this process or, via the
+	// persistent store, a previous one — had a content-identical
+	// method (cross-program sharing).
+	if e.summaries != nil && mode == constraints.ContextSensitive && !edited.UsesClocks() {
 		for _, mi := range dinfo.Closure {
-			if e.summaries.contains(edited.MethodHash(mi)) {
+			if e.summaryKnown(edited.MethodHash(mi)) {
 				delta.SummaryHits++
 			} else {
 				delta.SummaryMisses++

@@ -40,6 +40,7 @@ import (
 	"fx10/internal/intset"
 	"fx10/internal/labels"
 	"fx10/internal/parser"
+	"fx10/internal/sumstore"
 	"fx10/internal/syntax"
 	"fx10/internal/types"
 )
@@ -68,6 +69,15 @@ type Config struct {
 	// selects the default (512); negative disables just this tier.
 	// The tier is also disabled whenever CacheSize is negative.
 	SummaryCacheSize int
+	// SummaryStorePath names a directory for the persistent
+	// content-addressed summary store (internal/sumstore) — the disk
+	// tier below the method-summary cache, which then acts as its
+	// write-through memory tier. Summaries survive restarts and can be
+	// shared between engines: a content-hash hit in any engine's store
+	// is the same summary everywhere. Empty disables the disk tier;
+	// it is also disabled when the summary tier itself is. Engines
+	// with a store should be Closed to flush it.
+	SummaryStorePath string
 }
 
 const (
@@ -80,11 +90,18 @@ const (
 type Engine struct {
 	strategy  Strategy
 	workers   int
-	cache     *resultCache  // program tier; nil when caching is disabled
-	summaries *summaryCache // method-summary tier; nil when disabled
+	cache     *resultCache    // program tier; nil when caching is disabled
+	summaries *summaryCache   // method-summary tier; nil when disabled
+	store     *sumstore.Store // disk tier below summaries; nil when disabled
 
 	hits, misses       atomic.Uint64
 	sumHits, sumMisses atomic.Uint64
+	// sumSkipped counts summary-tier probes for clocked programs,
+	// which both tiers exclude by design (the phase analysis makes a
+	// method's summary depend on whole-program context the content
+	// hash ignores). Counting them separately keeps the hit rate
+	// honest over mixed clocked/unclocked corpora.
+	sumSkipped atomic.Uint64
 }
 
 // New builds an Engine, resolving the configured strategy name.
@@ -115,8 +132,24 @@ func New(cfg Config) (*Engine, error) {
 			size = defaultSummaryCacheSize
 		}
 		e.summaries = newSummaryCache(size)
+		if cfg.SummaryStorePath != "" {
+			store, err := sumstore.Open(cfg.SummaryStorePath)
+			if err != nil {
+				return nil, err
+			}
+			e.store = store
+		}
 	}
 	return e, nil
+}
+
+// Close flushes and closes the persistent summary store, if any. An
+// engine without a store needs no Close; calling it anyway is a no-op.
+func (e *Engine) Close() error {
+	if e.store == nil {
+		return nil
+	}
+	return e.store.Close()
 }
 
 // MustNew is New, panicking on error — for wiring with known-good
@@ -139,11 +172,21 @@ func (e *Engine) Workers() int { return e.workers }
 // both tiers (zero when caching is disabled).
 func (e *Engine) CacheStats() CacheStats {
 	return CacheStats{
-		Hits:          e.hits.Load(),
-		Misses:        e.misses.Load(),
-		SummaryHits:   e.sumHits.Load(),
-		SummaryMisses: e.sumMisses.Load(),
+		Hits:           e.hits.Load(),
+		Misses:         e.misses.Load(),
+		SummaryHits:    e.sumHits.Load(),
+		SummaryMisses:  e.sumMisses.Load(),
+		SummarySkipped: e.sumSkipped.Load(),
 	}
+}
+
+// SummaryStoreStats returns the persistent summary store's counters;
+// ok is false when the engine has no disk tier.
+func (e *Engine) SummaryStoreStats() (sumstore.Stats, bool) {
+	if e.store == nil {
+		return sumstore.Stats{}, false
+	}
+	return e.store.Stats(), true
 }
 
 // Job is one analysis request.

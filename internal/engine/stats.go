@@ -72,8 +72,11 @@ func (s Stats) PipelineDuration() time.Duration {
 
 // CacheStats aggregates an engine's cache traffic: the program tier
 // (Hits/Misses) and the method-summary tier (SummaryHits/
-// SummaryMisses).
+// SummaryMisses). SummarySkipped counts summary probes for clocked
+// programs, which the tier excludes by design — neither hits nor
+// misses, so a mixed corpus does not overstate the hit rate.
 type CacheStats struct {
 	Hits, Misses               uint64
 	SummaryHits, SummaryMisses uint64
+	SummarySkipped             uint64
 }

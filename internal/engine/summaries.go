@@ -103,15 +103,18 @@ func (e *Engine) storeSummaries(p *syntax.Program, sol *constraints.Solution, mo
 	if e.summaries == nil || mode != constraints.ContextSensitive {
 		return
 	}
-	// Clocked programs are excluded from the summary tier entirely: the
-	// phase analysis prunes a method's mᵢ using phase codes that depend
-	// on the whole program (the entry phase flows in from call sites),
-	// which the per-method content hash deliberately ignores. Two
-	// content-identical methods in different clocked programs can have
-	// different pruned summaries.
+	// Clocked programs are excluded from the summary tier entirely —
+	// memory and disk alike: the phase analysis prunes a method's mᵢ
+	// using phase codes that depend on the whole program (the entry
+	// phase flows in from call sites), which the per-method content
+	// hash deliberately ignores. Two content-identical methods in
+	// different clocked programs can have different pruned summaries,
+	// so a clocked summary on disk would poison every engine sharing
+	// the store.
 	if p.UsesClocks() {
 		return
 	}
+	wrote := false
 	for mi := range p.Methods {
 		hash := p.MethodHash(mi)
 		if e.summaries.contains(hash) {
@@ -127,8 +130,40 @@ func (e *Engine) storeSummaries(p *syntax.Program, sol *constraints.Solution, mo
 		if !ok {
 			continue
 		}
+		if e.store != nil && e.store.Has(hash) {
+			// Warm start: some earlier process (or an earlier run of
+			// this one) already persisted this method. Promote it into
+			// the memory tier — the freshly solved canonical summary is
+			// bit-identical to the stored one by the content-hash
+			// invariant, so no disk read is needed — and count the
+			// store hit (Has counted it).
+			e.summaries.put(hash, summaryEntry{sum: canon})
+			continue
+		}
 		e.summaries.put(hash, summaryEntry{sum: canon})
+		if e.store != nil {
+			e.store.Put(hash, canon)
+			wrote = true
+		}
 	}
+	if wrote {
+		// Best-effort durability per batch; crash-safety (no corrupt
+		// records served) never depends on this sync landing.
+		_ = e.store.Sync()
+	}
+}
+
+// summaryKnown reports whether the summary tier — memory or disk —
+// holds the given method hash, without counting engine-level hit/miss
+// traffic (the disk probe still counts in the store's own stats).
+func (e *Engine) summaryKnown(hash syntax.ProgramHash) bool {
+	if e.summaries == nil {
+		return false
+	}
+	if e.summaries.contains(hash) {
+		return true
+	}
+	return e.store != nil && e.store.Has(hash)
 }
 
 // summaryToCanonical rewrites a summary from global labels into the
@@ -157,15 +192,32 @@ func summaryToCanonical(sum types.Summary, toCanon map[int]int, k int) (types.Su
 }
 
 // CachedSummary looks up method mi of p in the summary tier: a hit
-// means some program in the corpus — possibly a different one — has
-// already been analyzed context-sensitively with a content-identical
-// method, and returns that method's summary translated to p's global
-// labels. The caller owns the returned summary.
+// means some program in the corpus — possibly a different one, possibly
+// analyzed by a previous process when a persistent store is configured
+// — has already been analyzed context-sensitively with a
+// content-identical method, and returns that method's summary
+// translated to p's global labels. A disk-tier hit is promoted into
+// the memory tier. The caller owns the returned summary.
 func (e *Engine) CachedSummary(p *syntax.Program, mi int) (types.Summary, bool) {
-	if e.summaries == nil || p.UsesClocks() {
+	if e.summaries == nil {
 		return types.Summary{}, false
 	}
-	entry, ok := e.summaries.get(p.MethodHash(mi))
+	if p.UsesClocks() {
+		// Not a miss: clocked programs are excluded from both tiers by
+		// design (see storeSummaries), so they must not depress the
+		// hit rate — and they must never reach the disk tier.
+		e.sumSkipped.Add(1)
+		return types.Summary{}, false
+	}
+	hash := p.MethodHash(mi)
+	entry, ok := e.summaries.get(hash)
+	if !ok && e.store != nil {
+		if sum, found := e.store.Get(hash); found {
+			entry = summaryEntry{sum: sum}
+			e.summaries.put(hash, entry)
+			ok = true
+		}
+	}
 	if !ok {
 		e.sumMisses.Add(1)
 		return types.Summary{}, false

@@ -1,0 +1,236 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"fx10/internal/constraints"
+	"fx10/internal/engine"
+	"fx10/internal/workloads"
+)
+
+// The store bench measures what the persistent summary store
+// (internal/sumstore) costs and buys at process start. One op is a
+// cold start: construct a fresh engine and analyze one workload —
+// the unit of work a restarted daemon pays per program. Three
+// configurations per workload:
+//
+//   - cold:  no store configured (the pre-store baseline);
+//   - empty: a store on an empty directory (open + write-through
+//     overhead on the critical path);
+//   - warm:  a store pre-populated by a previous engine (recovery,
+//     read-side probes, and the warm hits a restarted daemon sees).
+//
+// The bench also measures cached-query throughput (repeat analyzes
+// served by the program cache) with and without a store, which the
+// store must leave untouched: a program-cache hit never reaches the
+// summary tier. Written as BENCH_store.json so regressions are
+// diffable across commits.
+
+// StoreRow is one workload's cold-start measurements.
+type StoreRow struct {
+	Benchmark string `json:"benchmark"`
+	// ColdNsPerOp / EmptyNsPerOp / WarmNsPerOp are best-of-reps times
+	// of one fresh-engine analyze without a store, with an empty
+	// store, and with a warm store.
+	ColdNsPerOp  int64 `json:"cold_ns_per_op"`
+	EmptyNsPerOp int64 `json:"empty_ns_per_op"`
+	WarmNsPerOp  int64 `json:"warm_ns_per_op"`
+	// WarmStoreHits counts disk-tier hits during the warm cold start
+	// (the restarted daemon's warm-start signal; 0 would mean the
+	// store did nothing).
+	WarmStoreHits uint64 `json:"warm_store_hits"`
+	// CachedNsPerOp / CachedStoreNsPerOp are repeat-analyze times
+	// (program-cache hits) without and with a store; the store must
+	// not change this path.
+	CachedNsPerOp      int64 `json:"cached_ns_per_op"`
+	CachedStoreNsPerOp int64 `json:"cached_store_ns_per_op"`
+}
+
+// StoreBench is the full sweep plus environment and store totals.
+type StoreBench struct {
+	Go     string `json:"go"`
+	GOOS   string `json:"goos"`
+	GOARCH string `json:"goarch"`
+	Reps   int    `json:"reps"`
+	// Records / LogBytes describe the populated store the warm runs
+	// opened.
+	Records  int        `json:"records"`
+	LogBytes int64      `json:"log_bytes"`
+	Rows     []StoreRow `json:"rows"`
+}
+
+// RunStoreBench populates a store from the 13-workload corpus, then
+// sweeps per-workload cold starts in the three configurations.
+func RunStoreBench(reps int) (StoreBench, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	bench := StoreBench{
+		Go:     runtime.Version(),
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+		Reps:   reps,
+	}
+	warmDir, err := os.MkdirTemp("", "fx10-storebench-*")
+	if err != nil {
+		return bench, err
+	}
+	defer os.RemoveAll(warmDir)
+
+	// Populate: one engine analyzes the whole corpus, then closes
+	// (sync + snapshot) — the state a daemon leaves behind at SIGTERM.
+	seed, err := engine.New(engine.Config{SummaryStorePath: warmDir})
+	if err != nil {
+		return bench, err
+	}
+	for _, wl := range workloads.All() {
+		if _, err := seed.Analyze(engine.Job{Name: wl.Name, Program: wl.Program(), Mode: constraints.ContextSensitive}); err != nil {
+			return bench, err
+		}
+	}
+	if st, ok := seed.SummaryStoreStats(); ok {
+		bench.Records = st.Records
+		bench.LogBytes = st.LogBytes
+	}
+	if err := seed.Close(); err != nil {
+		return bench, err
+	}
+
+	for _, wl := range workloads.All() {
+		row, err := measureStore(wl, warmDir, reps)
+		if err != nil {
+			return bench, err
+		}
+		bench.Rows = append(bench.Rows, row)
+	}
+	return bench, nil
+}
+
+func measureStore(wl *workloads.Benchmark, warmDir string, reps int) (StoreRow, error) {
+	row := StoreRow{Benchmark: wl.Name}
+	p := wl.Program()
+	job := engine.Job{Name: wl.Name, Program: p, Mode: constraints.ContextSensitive}
+
+	// coldStart times one fresh-engine analyze; dirFor supplies the
+	// store directory per rep ("" = no store) so the empty-store case
+	// can use a throwaway directory each rep.
+	coldStart := func(dirFor func() (string, func(), error), wantHits bool) (int64, error) {
+		best := time.Duration(0)
+		for rep := 0; rep < reps; rep++ {
+			dir, cleanup, err := dirFor()
+			if err != nil {
+				return 0, err
+			}
+			t0 := time.Now()
+			e, err := engine.New(engine.Config{SummaryStorePath: dir})
+			if err != nil {
+				return 0, err
+			}
+			if _, err := e.Analyze(job); err != nil {
+				return 0, err
+			}
+			d := time.Since(t0)
+			if rep == 0 && wantHits {
+				if st, ok := e.SummaryStoreStats(); ok {
+					row.WarmStoreHits = st.Hits
+				}
+			}
+			_ = e.Close()
+			if cleanup != nil {
+				cleanup()
+			}
+			if rep == 0 || d < best {
+				best = d
+			}
+		}
+		return best.Nanoseconds(), nil
+	}
+	noStore := func() (string, func(), error) { return "", nil, nil }
+	emptyStore := func() (string, func(), error) {
+		tmp, err := os.MkdirTemp("", "fx10-storebench-empty-*")
+		if err != nil {
+			return "", nil, err
+		}
+		return tmp, func() { os.RemoveAll(tmp) }, nil
+	}
+	warmStore := func() (string, func(), error) { return warmDir, nil, nil }
+
+	var err error
+	if row.ColdNsPerOp, err = coldStart(noStore, false); err != nil {
+		return row, err
+	}
+	if row.EmptyNsPerOp, err = coldStart(emptyStore, false); err != nil {
+		return row, err
+	}
+	if row.WarmNsPerOp, err = coldStart(warmStore, true); err != nil {
+		return row, err
+	}
+
+	// Cached-query throughput: repeat analyzes on a live engine are
+	// program-cache hits; the store must not appear on this path.
+	cached := func(dir string) (int64, error) {
+		e, err := engine.New(engine.Config{SummaryStorePath: dir})
+		if err != nil {
+			return 0, err
+		}
+		defer e.Close()
+		if _, err := e.Analyze(job); err != nil {
+			return 0, err
+		}
+		const iters = 64
+		best := time.Duration(0)
+		for rep := 0; rep < reps; rep++ {
+			t0 := time.Now()
+			for i := 0; i < iters; i++ {
+				if _, err := e.Analyze(job); err != nil {
+					return 0, err
+				}
+			}
+			if d := time.Since(t0); rep == 0 || d < best {
+				best = d
+			}
+		}
+		return best.Nanoseconds() / iters, nil
+	}
+	if row.CachedNsPerOp, err = cached(""); err != nil {
+		return row, err
+	}
+	if row.CachedStoreNsPerOp, err = cached(warmDir); err != nil {
+		return row, err
+	}
+	return row, nil
+}
+
+// FormatStoreBench renders the sweep as an aligned table.
+func FormatStoreBench(bench StoreBench) string {
+	var b strings.Builder
+	tw := newTable(&b, "benchmark", "cold ns/op", "empty-store ns/op", "warm-store ns/op", "warm hits", "cached ns/op", "cached+store ns/op")
+	for _, r := range bench.Rows {
+		tw.row(r.Benchmark,
+			fmt.Sprint(r.ColdNsPerOp),
+			fmt.Sprint(r.EmptyNsPerOp),
+			fmt.Sprint(r.WarmNsPerOp),
+			fmt.Sprint(r.WarmStoreHits),
+			fmt.Sprint(r.CachedNsPerOp),
+			fmt.Sprint(r.CachedStoreNsPerOp))
+	}
+	tw.flush()
+	fmt.Fprintf(&b, "(%s %s/%s, best of %d reps; one op = fresh engine + one analyze; warm store holds %d summaries in %d log bytes)\n",
+		bench.Go, bench.GOOS, bench.GOARCH, bench.Reps, bench.Records, bench.LogBytes)
+	return b.String()
+}
+
+// WriteStoreBenchJSON writes the sweep machine-readably (the
+// committed BENCH_store.json).
+func WriteStoreBenchJSON(bench StoreBench, path string) error {
+	data, err := json.MarshalIndent(bench, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

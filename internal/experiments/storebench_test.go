@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"fx10/internal/workloads"
+)
+
+func TestRunStoreBench(t *testing.T) {
+	bench, err := RunStoreBench(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(bench.Rows), len(workloads.All()); got != want {
+		t.Fatalf("rows = %d, want %d", got, want)
+	}
+	if bench.Records == 0 || bench.LogBytes == 0 {
+		t.Fatalf("populated store is empty: records=%d logBytes=%d", bench.Records, bench.LogBytes)
+	}
+	anyHits := false
+	for _, r := range bench.Rows {
+		if r.ColdNsPerOp <= 0 || r.EmptyNsPerOp <= 0 || r.WarmNsPerOp <= 0 {
+			t.Fatalf("%s: non-positive cold-start timing: %+v", r.Benchmark, r)
+		}
+		if r.CachedNsPerOp <= 0 || r.CachedStoreNsPerOp <= 0 {
+			t.Fatalf("%s: non-positive cached timing: %+v", r.Benchmark, r)
+		}
+		if r.WarmStoreHits > 0 {
+			anyHits = true
+		}
+	}
+	if !anyHits {
+		t.Fatal("no workload warm-started from the store")
+	}
+	out := FormatStoreBench(bench)
+	if !strings.Contains(out, "warm hits") || !strings.Contains(out, bench.Rows[0].Benchmark) {
+		t.Fatalf("format output incomplete:\n%s", out)
+	}
+}

@@ -35,6 +35,48 @@ type AnalyzeResponse struct {
 	Report mhp.Report `json:"report"`
 }
 
+// BatchRequest is the body of POST /v1/batch: N programs analyzed
+// under ONE admission slot. A corpus submission (a CI run, an editor
+// workspace scan) is one unit of work to the admission queue, not N
+// competing requests — so a 64-program batch cannot starve
+// interactive /v1/analyze traffic the way 64 parallel posts would.
+// Within the batch, content-identical programs are solved once, and
+// each program still coalesces with any concurrent solve of the same
+// (hash, mode) flight.
+type BatchRequest struct {
+	// Programs are analyzed in order; results come back in the same
+	// order. Bounded by Config.MaxBatchPrograms (default 64).
+	Programs []BatchProgram `json:"programs"`
+	// Mode applies to the whole batch: "cs" (default) or "ci".
+	Mode string `json:"mode,omitempty"`
+}
+
+// BatchProgram is one program of a batch.
+type BatchProgram struct {
+	// Name is echoed back in the result slot (optional).
+	Name   string `json:"name,omitempty"`
+	Source string `json:"source"`
+}
+
+// BatchResponse is the body of a successful /v1/batch. The request
+// succeeds as a whole even when individual programs fail to parse:
+// per-program errors live in their result slots.
+type BatchResponse struct {
+	// Results[i] corresponds to Programs[i].
+	Results []BatchResult `json:"results"`
+}
+
+// BatchResult is one program's outcome: exactly one of Error and
+// Analysis is set.
+type BatchResult struct {
+	Name string `json:"name,omitempty"`
+	// Error reports a per-program failure ("parse" kind for bad
+	// source) without failing the batch.
+	Error *ErrorDetail `json:"error,omitempty"`
+	// Analysis is the same shape /v1/analyze returns.
+	Analysis *AnalyzeResponse `json:"analysis,omitempty"`
+}
+
 // QueryRequest is the body of POST /v1/query: a may-happen-in-
 // parallel question about a previously analyzed program.
 type QueryRequest struct {

@@ -8,6 +8,9 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"fx10/internal/engine"
+	"fx10/internal/sumstore"
 )
 
 // Metrics is the server's expvar-backed registry. Every variable is
@@ -35,26 +38,34 @@ type Metrics struct {
 	overload  *expvar.Int // requests rejected 429 at admission
 	canceled  *expvar.Int // requests abandoned by client or deadline
 
+	batches       *expvar.Int // /v1/batch requests admitted
+	batchPrograms *expvar.Int // programs carried by those batches
+
 	queueWait    *Histogram // time from admission to worker slot
 	solveLatency *Histogram // engine time per non-coalesced solve
 	reqLatency   *Histogram // end-to-end handler time, all endpoints
 }
 
-func newMetrics(cacheStats func() (hits, misses, sumHits, sumMisses uint64)) *Metrics {
+// newMetrics builds the registry. cacheStats feeds the "cache"
+// section; storeStats feeds "summaryStore" (reporting enabled=false
+// when no persistent store is configured).
+func newMetrics(cacheStats func() engine.CacheStats, storeStats func() (sumstore.Stats, bool)) *Metrics {
 	m := &Metrics{
-		vars:         new(expvar.Map).Init(),
-		requests:     new(expvar.Map).Init(),
-		responses:    new(expvar.Map).Init(),
-		queueDepth:   new(expvar.Int),
-		inflight:     new(expvar.Int),
-		sessions:     new(expvar.Int),
-		coalesced:    new(expvar.Int),
-		solves:       new(expvar.Int),
-		overload:     new(expvar.Int),
-		canceled:     new(expvar.Int),
-		queueWait:    NewHistogram(),
-		solveLatency: NewHistogram(),
-		reqLatency:   NewHistogram(),
+		vars:          new(expvar.Map).Init(),
+		requests:      new(expvar.Map).Init(),
+		responses:     new(expvar.Map).Init(),
+		queueDepth:    new(expvar.Int),
+		inflight:      new(expvar.Int),
+		sessions:      new(expvar.Int),
+		coalesced:     new(expvar.Int),
+		solves:        new(expvar.Int),
+		overload:      new(expvar.Int),
+		canceled:      new(expvar.Int),
+		batches:       new(expvar.Int),
+		batchPrograms: new(expvar.Int),
+		queueWait:     NewHistogram(),
+		solveLatency:  NewHistogram(),
+		reqLatency:    NewHistogram(),
 	}
 	start := time.Now()
 	m.vars.Set("requests", m.requests)
@@ -66,6 +77,8 @@ func newMetrics(cacheStats func() (hits, misses, sumHits, sumMisses uint64)) *Me
 	m.vars.Set("solves", m.solves)
 	m.vars.Set("overload", m.overload)
 	m.vars.Set("canceled", m.canceled)
+	m.vars.Set("batches", m.batches)
+	m.vars.Set("batchPrograms", m.batchPrograms)
 	m.vars.Set("queueWaitMs", m.queueWait)
 	m.vars.Set("solveLatencyMs", m.solveLatency)
 	m.vars.Set("requestLatencyMs", m.reqLatency)
@@ -76,14 +89,41 @@ func newMetrics(cacheStats func() (hits, misses, sumHits, sumMisses uint64)) *Me
 		return runtime.NumGoroutine()
 	}))
 	m.vars.Set("cache", expvar.Func(func() any {
-		hits, misses, sumHits, sumMisses := cacheStats()
+		cs := cacheStats()
 		return map[string]any{
-			"programHits":    hits,
-			"programMisses":  misses,
-			"programHitRate": rate(hits, misses),
-			"summaryHits":    sumHits,
-			"summaryMisses":  sumMisses,
-			"summaryHitRate": rate(sumHits, sumMisses),
+			"programHits":    cs.Hits,
+			"programMisses":  cs.Misses,
+			"programHitRate": rate(cs.Hits, cs.Misses),
+			"summaryHits":    cs.SummaryHits,
+			"summaryMisses":  cs.SummaryMisses,
+			"summaryHitRate": rate(cs.SummaryHits, cs.SummaryMisses),
+			// Clocked-program probes: excluded from the tier by design,
+			// counted separately so they do not depress the hit rate.
+			"summarySkipped": cs.SummarySkipped,
+		}
+	}))
+	m.vars.Set("summaryStore", expvar.Func(func() any {
+		ss, enabled := storeStats()
+		if !enabled {
+			return map[string]any{"enabled": false}
+		}
+		return map[string]any{
+			"enabled":          true,
+			"records":          ss.Records,
+			"logBytes":         ss.LogBytes,
+			"hits":             ss.Hits,
+			"misses":           ss.Misses,
+			"hitRate":          rate(ss.Hits, ss.Misses),
+			"puts":             ss.Puts,
+			"dupPuts":          ss.DupPuts,
+			"bytesWritten":     ss.BytesWritten,
+			"bytesRead":        ss.BytesRead,
+			"indexLoaded":      ss.IndexLoaded,
+			"recoveredRecords": ss.RecoveredRecords,
+			"truncatedBytes":   ss.TruncatedBytes,
+			"invalidations":    ss.Invalidations,
+			"writeErrors":      ss.WriteErrors,
+			"readErrors":       ss.ReadErrors,
 		}
 	}))
 	return m

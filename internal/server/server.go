@@ -21,9 +21,14 @@
 //	    the server-side query index additionally serves /v1/query
 //	    without touching the engine at all.
 //
-// Endpoints: POST /v1/analyze, POST /v1/query, POST /v1/delta,
-// GET /healthz, GET /metrics. See api.go for wire types and DESIGN.md
-// §8 for the architecture discussion.
+// Endpoints: POST /v1/analyze, POST /v1/batch, POST /v1/query,
+// POST /v1/delta, GET /healthz, GET /metrics. See api.go for wire
+// types and DESIGN.md §8 for the architecture discussion.
+//
+// With Config.SummaryStorePath set, the engine additionally persists
+// method summaries to a crash-safe on-disk store (internal/sumstore):
+// a restarted server warm-starts its summary tier from disk, visible
+// as summaryStore hits in /metrics.
 package server
 
 import (
@@ -76,6 +81,14 @@ type Config struct {
 	MaxSessions int
 	// MaxIndexed bounds the /v1/query index (default 1024 programs).
 	MaxIndexed int
+	// MaxBatchPrograms bounds the programs accepted per /v1/batch
+	// request (default 64).
+	MaxBatchPrograms int
+	// SummaryStorePath, when non-empty, enables the engine's
+	// persistent summary store in that directory: method summaries
+	// survive restarts and are shared across processes pointed at the
+	// same path.
+	SummaryStorePath string
 }
 
 func (c Config) withDefaults() Config {
@@ -99,6 +112,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxIndexed <= 0 {
 		c.MaxIndexed = 1024
+	}
+	if c.MaxBatchPrograms <= 0 {
+		c.MaxBatchPrograms = 64
 	}
 	return c
 }
@@ -133,6 +149,7 @@ func New(cfg Config) (*Server, error) {
 		SolverWorkers:    cfg.SolverWorkers,
 		CacheSize:        cfg.CacheSize,
 		SummaryCacheSize: cfg.SummaryCacheSize,
+		SummaryStorePath: cfg.SummaryStorePath,
 	})
 	if err != nil {
 		return nil, err
@@ -148,12 +165,10 @@ func New(cfg Config) (*Server, error) {
 		baseCtx:    base,
 		baseCancel: cancel,
 	}
-	s.metrics = newMetrics(func() (uint64, uint64, uint64, uint64) {
-		cs := eng.CacheStats()
-		return cs.Hits, cs.Misses, cs.SummaryHits, cs.SummaryMisses
-	})
+	s.metrics = newMetrics(eng.CacheStats, eng.SummaryStoreStats)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/analyze", s.instrument("analyze", s.handleAnalyze))
+	mux.HandleFunc("/v1/batch", s.instrument("batch", s.handleBatch))
 	mux.HandleFunc("/v1/query", s.instrument("query", s.handleQuery))
 	mux.HandleFunc("/v1/delta", s.instrument("delta", s.handleDelta))
 	mux.HandleFunc("/healthz", s.handleHealthz)
@@ -178,9 +193,14 @@ func (s *Server) Engine() *engine.Engine { return s.eng }
 // to completion. Use before shutting the HTTP listener down.
 func (s *Server) Drain() { s.draining.Store(true) }
 
-// Close cancels every in-flight solve. Call after the HTTP server
-// has stopped accepting connections.
-func (s *Server) Close() { s.baseCancel() }
+// Close cancels every in-flight solve and closes the engine (which
+// syncs and snapshots the persistent summary store when one is
+// configured). Call after the HTTP server has stopped accepting
+// connections.
+func (s *Server) Close() {
+	s.baseCancel()
+	_ = s.eng.Close()
+}
 
 // instrument wraps a handler with request/response counting and
 // end-to-end latency observation.
@@ -318,25 +338,7 @@ func (s *Server) analyze(ctx context.Context, p *syntax.Program, mode constraint
 		s.metrics.queueDepth.Set(s.adm.depth())
 	}()
 
-	res, err, joined := s.flights.do(ctx, key, func(fctx context.Context) (*engine.Result, error) {
-		s.metrics.solves.Add(1)
-		t0 := time.Now()
-		r, err := s.eng.AnalyzeSafe(fctx, engine.Job{Name: what, Program: p, Mode: mode})
-		if err == nil {
-			d := time.Since(t0)
-			s.metrics.solveLatency.Observe(d)
-			s.observeSolve(d)
-		}
-		return r, err
-	})
-	if joined {
-		s.metrics.coalesced.Add(1)
-	}
-	if err != nil {
-		return nil, joined, s.solveError(err)
-	}
-	s.index.put(key, &indexed{program: res.Program, m: res.M})
-	return res, joined, nil
+	return s.solveOne(ctx, key, p, mode, what)
 }
 
 // solveError maps engine failures onto HTTP statuses.
@@ -470,13 +472,18 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 
-	sess, created, evicted := s.sessions.get(req.Session, mode)
-	s.metrics.sessions.Set(int64(s.sessions.len()))
-	_ = evicted
-	if !created && sess.mode != mode {
+	sess, created, evicted, ok := s.sessions.get(req.Session, mode)
+	if !ok {
+		// The session exists under the other mode: its base result is a
+		// solution of that mode's constraint system, unusable as a
+		// delta base here. Rejecting (rather than silently reusing the
+		// session's mode) keeps the request's mode authoritative.
 		s.writeError(w, http.StatusBadRequest, "bad_request", "mode differs from the session's")
 		return
 	}
+	_ = created
+	s.metrics.sessions.Set(int64(s.sessions.len()))
+	_ = evicted
 
 	// Serialize edits within the session; the base advances edit by
 	// edit. The lock is held across the solve on purpose: delta

@@ -39,6 +39,12 @@ type sessionEntry struct {
 }
 
 func newSessionStore(capacity int) *sessionStore {
+	if capacity < 1 {
+		// A zero or negative capacity would evict each session the
+		// moment it is inserted — a store that silently forgets
+		// everything. Clamp to the smallest store that can function.
+		capacity = 1
+	}
 	return &sessionStore{
 		cap:   capacity,
 		m:     make(map[string]*list.Element),
@@ -47,14 +53,23 @@ func newSessionStore(capacity int) *sessionStore {
 }
 
 // get returns the session for id, creating it with the given mode on
-// first use. created reports a fresh session; evicted is the number
-// of sessions dropped to make room.
-func (st *sessionStore) get(id string, mode constraints.Mode) (s *session, created bool, evicted int) {
+// first use. A session is keyed by (id, mode) in effect: requesting an
+// existing id under a different mode returns ok=false — the base
+// result held by the session was solved under its mode, so serving it
+// to the other mode would mix valuations of two different analyses.
+// created reports a fresh session; evicted is the number of sessions
+// dropped to make room. The mode check happens under the store lock,
+// so a caller never observes a session whose mode it did not agree to.
+func (st *sessionStore) get(id string, mode constraints.Mode) (s *session, created bool, evicted int, ok bool) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	if e, ok := st.m[id]; ok {
+	if e, exists := st.m[id]; exists {
+		s = e.Value.(sessionEntry).s
+		if s.mode != mode {
+			return nil, false, 0, false
+		}
 		st.order.MoveToFront(e)
-		return e.Value.(sessionEntry).s, false, 0
+		return s, false, 0, true
 	}
 	s = &session{mode: mode}
 	st.m[id] = st.order.PushFront(sessionEntry{id: id, s: s})
@@ -64,7 +79,7 @@ func (st *sessionStore) get(id string, mode constraints.Mode) (s *session, creat
 		delete(st.m, oldest.Value.(sessionEntry).id)
 		evicted++
 	}
-	return s, true, evicted
+	return s, true, evicted, true
 }
 
 // len is the number of live sessions.
@@ -98,6 +113,9 @@ type indexed struct {
 }
 
 func newQueryIndex(capacity int) *queryIndex {
+	if capacity < 1 {
+		capacity = 1 // see newSessionStore: cap 0 would evict on insert
+	}
 	return &queryIndex{
 		cap:   capacity,
 		m:     make(map[flightKey]*list.Element),

@@ -1,0 +1,208 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"fx10/internal/constraints"
+	"fx10/internal/syntax"
+	"fx10/internal/workloads"
+)
+
+// TestDeltaSessionModeMismatch: a session is (id, mode); reusing the
+// id under the other mode is a 400, and the original session keeps
+// working afterwards.
+func TestDeltaSessionModeMismatch(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	src := "void main() { A: async { S: skip; } T: skip; }"
+
+	status, data, _ := postJSON(t, ts.Client(), ts.URL+"/v1/delta",
+		DeltaRequest{Session: "ed1", Source: src, Mode: "cs"})
+	if status != http.StatusOK {
+		t.Fatalf("first delta: status %d: %s", status, data)
+	}
+
+	status, data, _ = postJSON(t, ts.Client(), ts.URL+"/v1/delta",
+		DeltaRequest{Session: "ed1", Source: src, Mode: "ci"})
+	if status != http.StatusBadRequest {
+		t.Fatalf("mode mismatch: status %d, want 400: %s", status, data)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(data, &er); err != nil || er.Error.Kind != "bad_request" {
+		t.Fatalf("mode mismatch error = %s", data)
+	}
+
+	// The rejected request must not have corrupted or replaced the
+	// session: the original mode continues incrementally.
+	edited := "void main() { A: async { S: skip; } T: skip; U: skip; }"
+	status, data, _ = postJSON(t, ts.Client(), ts.URL+"/v1/delta",
+		DeltaRequest{Session: "ed1", Source: edited, Mode: "cs"})
+	if status != http.StatusOK {
+		t.Fatalf("delta after mismatch: status %d: %s", status, data)
+	}
+	var dr DeltaResponse
+	if err := json.Unmarshal(data, &dr); err != nil {
+		t.Fatal(err)
+	}
+	if dr.Delta == nil {
+		t.Fatal("session lost its base after a rejected mode-mismatch request")
+	}
+}
+
+// TestDeltaSessionSameModeReuses: the happy path the mismatch check
+// must not break — same id, same mode, session advances.
+func TestDeltaSessionSameModeReuses(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	src := "void main() { A: async { S: skip; } T: skip; }"
+	for i, source := range []string{src, src} {
+		status, data, _ := postJSON(t, ts.Client(), ts.URL+"/v1/delta",
+			DeltaRequest{Session: "ed2", Source: source, Mode: "cs"})
+		if status != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, status, data)
+		}
+		var dr DeltaResponse
+		if err := json.Unmarshal(data, &dr); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 && dr.Delta != nil {
+			t.Fatal("first request of a session should be a full analyze")
+		}
+		if i == 1 && dr.Delta == nil {
+			t.Fatal("second request did not reuse the session")
+		}
+	}
+}
+
+// TestSessionStoreCapClamped: capacities ≤ 0 must not evict the
+// just-inserted element.
+func TestSessionStoreCapClamped(t *testing.T) {
+	for _, capacity := range []int{0, -5} {
+		st := newSessionStore(capacity)
+		s1, created, _, ok := st.get("a", constraints.ContextSensitive)
+		if !ok || !created || s1 == nil {
+			t.Fatalf("cap %d: insert failed", capacity)
+		}
+		s2, created, _, ok := st.get("a", constraints.ContextSensitive)
+		if !ok || created || s2 != s1 {
+			t.Fatalf("cap %d: just-inserted session evicted", capacity)
+		}
+		if st.len() != 1 {
+			t.Fatalf("cap %d: len = %d, want 1", capacity, st.len())
+		}
+	}
+}
+
+// TestQueryIndexCapClamped: same clamp for the query index.
+func TestQueryIndexCapClamped(t *testing.T) {
+	for _, capacity := range []int{0, -1} {
+		qi := newQueryIndex(capacity)
+		key := flightKey{mode: constraints.ContextSensitive}
+		qi.put(key, &indexed{})
+		if _, ok := qi.get(key); !ok {
+			t.Fatalf("cap %d: just-inserted entry evicted", capacity)
+		}
+	}
+}
+
+// TestServerRestartWarmStore is the restart scenario end to end at
+// the package level: server 1 populates the summary store, a second
+// server on the same directory warm-starts — its first analyzes
+// record store hits — and its reports are byte-identical.
+func TestServerRestartWarmStore(t *testing.T) {
+	dir := t.TempDir()
+	names := []string{"series", "stream", "crypt", "mapreduce"}
+
+	want := make(map[string][]byte)
+	s1, ts1 := newTestServer(t, Config{SummaryStorePath: dir})
+	for _, n := range names {
+		b, err := workloads.Get(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		status, data, _ := postJSON(t, ts1.Client(), ts1.URL+"/v1/analyze",
+			AnalyzeRequest{Source: syntax.Print(b.Program())})
+		if status != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", n, status, data)
+		}
+		resp := decodeAnalyze(t, data)
+		rep, err := json.Marshal(resp.Report)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[n] = rep
+	}
+	// Simulate the shutdown path fx10d takes: Drain then Close (which
+	// syncs and snapshots the store via the engine).
+	s1.Drain()
+	ts1.Close()
+	s1.Close()
+
+	s2, ts2 := newTestServer(t, Config{SummaryStorePath: dir})
+	for _, n := range names {
+		b, _ := workloads.Get(n)
+		status, data, _ := postJSON(t, ts2.Client(), ts2.URL+"/v1/analyze",
+			AnalyzeRequest{Source: syntax.Print(b.Program())})
+		if status != http.StatusOK {
+			t.Fatalf("restarted %s: status %d: %s", n, status, data)
+		}
+		resp := decodeAnalyze(t, data)
+		rep, err := json.Marshal(resp.Report)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(rep, want[n]) {
+			t.Fatalf("%s: post-restart report differs", n)
+		}
+	}
+	stats, enabled := s2.Engine().SummaryStoreStats()
+	if !enabled {
+		t.Fatal("restarted server has no summary store")
+	}
+	if stats.Hits == 0 {
+		t.Fatalf("restarted server recorded no warm store hits: %+v", stats)
+	}
+
+	// And /metrics reports the store section.
+	resp, err := ts2.Client().Get(ts2.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m struct {
+		SummaryStore struct {
+			Enabled bool   `json:"enabled"`
+			Hits    uint64 `json:"hits"`
+			Records int    `json:"records"`
+		} `json:"summaryStore"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if !m.SummaryStore.Enabled || m.SummaryStore.Hits == 0 || m.SummaryStore.Records == 0 {
+		t.Fatalf("metrics summaryStore = %+v", m.SummaryStore)
+	}
+}
+
+// TestServerStoreDisabledMetrics: without a store path the metrics
+// section reports enabled=false (and nothing crashes).
+func TestServerStoreDisabledMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m struct {
+		SummaryStore struct {
+			Enabled bool `json:"enabled"`
+		} `json:"summaryStore"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.SummaryStore.Enabled {
+		t.Fatal("store reported enabled without a path")
+	}
+}

@@ -1,0 +1,134 @@
+package sumstore
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"fx10/internal/intset"
+	"fx10/internal/types"
+)
+
+// Versioned binary encoding of one types.Summary in canonical
+// subtree-local label space. The encoding is element-based rather than
+// a raw bit-matrix dump: summaries are sparse relative to n², and
+// delta-varint element lists stay compact as the universe grows.
+//
+// Layout (all varints are unsigned LEB128):
+//
+//	u8     payload version (payloadVersion)
+//	uvar   n                universe size (labels in the subtree)
+//	uvar   |O|              then |O| delta-varints: first element
+//	                        absolute, the rest gaps from the previous
+//	uvar   |M|              ordered-pair count, then |M| delta-varints
+//	                        over the row-major pair index i·n + j
+//
+// Set.Each and PairSet.Each iterate in increasing (row-major) order,
+// so every delta is non-negative and the decoder can verify strict
+// monotonicity — a decode that would need to go backwards is corrupt.
+const payloadVersion = 1
+
+// encodeSummary serializes a summary. The M and O components must
+// share one universe (they always do for a method summary).
+func encodeSummary(sum types.Summary) []byte {
+	n := sum.O.Universe()
+	buf := make([]byte, 0, 16+2*sum.O.Len()+4*sum.M.Len())
+	buf = append(buf, payloadVersion)
+	buf = binary.AppendUvarint(buf, uint64(n))
+
+	buf = binary.AppendUvarint(buf, uint64(sum.O.Len()))
+	prev := 0
+	sum.O.Each(func(e int) {
+		buf = binary.AppendUvarint(buf, uint64(e-prev))
+		prev = e
+	})
+
+	buf = binary.AppendUvarint(buf, uint64(sum.M.Len()))
+	prevIdx := 0
+	sum.M.Each(func(i, j int) {
+		idx := i*n + j
+		buf = binary.AppendUvarint(buf, uint64(idx-prevIdx))
+		prevIdx = idx
+	})
+	return buf
+}
+
+// decodeSummary is the inverse of encodeSummary. Every structural
+// property is validated (version, counts, element bounds,
+// monotonicity), so a checksum-valid but semantically impossible
+// record — which a format bug, not disk corruption, would produce —
+// fails loudly here instead of corrupting an analysis.
+func decodeSummary(b []byte) (types.Summary, error) {
+	if len(b) == 0 || b[0] != payloadVersion {
+		return types.Summary{}, fmt.Errorf("sumstore: unknown payload version")
+	}
+	b = b[1:]
+	next := func() (uint64, error) {
+		v, w := binary.Uvarint(b)
+		if w <= 0 {
+			return 0, fmt.Errorf("sumstore: truncated varint")
+		}
+		b = b[w:]
+		return v, nil
+	}
+
+	un, err := next()
+	if err != nil {
+		return types.Summary{}, err
+	}
+	const maxUniverse = 1 << 30
+	if un > maxUniverse {
+		return types.Summary{}, fmt.Errorf("sumstore: implausible universe %d", un)
+	}
+	n := int(un)
+	sum := types.Summary{O: intset.New(n), M: intset.NewPairs(n)}
+
+	olen, err := next()
+	if err != nil {
+		return types.Summary{}, err
+	}
+	if olen > un {
+		return types.Summary{}, fmt.Errorf("sumstore: |O| = %d exceeds universe %d", olen, n)
+	}
+	elem := 0
+	for i := uint64(0); i < olen; i++ {
+		d, err := next()
+		if err != nil {
+			return types.Summary{}, err
+		}
+		if i > 0 && d == 0 {
+			return types.Summary{}, fmt.Errorf("sumstore: non-monotone O element")
+		}
+		elem += int(d)
+		if elem >= n {
+			return types.Summary{}, fmt.Errorf("sumstore: O element %d outside universe %d", elem, n)
+		}
+		sum.O.Add(elem)
+	}
+
+	plen, err := next()
+	if err != nil {
+		return types.Summary{}, err
+	}
+	if n > 0 && plen > un*un {
+		return types.Summary{}, fmt.Errorf("sumstore: |M| = %d exceeds universe²", plen)
+	}
+	idx := 0
+	for i := uint64(0); i < plen; i++ {
+		d, err := next()
+		if err != nil {
+			return types.Summary{}, err
+		}
+		if i > 0 && d == 0 {
+			return types.Summary{}, fmt.Errorf("sumstore: non-monotone M pair")
+		}
+		idx += int(d)
+		if n == 0 || idx >= n*n {
+			return types.Summary{}, fmt.Errorf("sumstore: M pair index %d outside universe", idx)
+		}
+		sum.M.Add(idx/n, idx%n)
+	}
+	if len(b) != 0 {
+		return types.Summary{}, fmt.Errorf("sumstore: %d trailing bytes", len(b))
+	}
+	return sum, nil
+}

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Store smoke test: the persistent summary store across a real daemon
+# restart. Build fx10d with -race, start it with -summary-store,
+# analyze a burst, SIGTERM it, restart on the same directory, and
+# assert (a) the restart scenario reports byte-identical results with
+# warm summary hits and (b) /metrics on the restarted daemon shows
+# nonzero summaryStore hits on its first analyzes. Used by CI and
+# `make store-smoke`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PORT="${FX10D_STORE_PORT:-8711}"
+ADDR="127.0.0.1:${PORT}"
+TMP="$(mktemp -d)"
+BIN="${TMP}/fx10d"
+STORE="${TMP}/sumstore"
+trap 'rm -rf "$TMP"' EXIT
+
+go build -race -o "$BIN" ./cmd/fx10d
+
+# The in-process restart scenario: warm phase, clean shutdown,
+# restart, byte-identical reports + warm store hits — all under -race.
+"$BIN" loadgen -scenario restart -store "$STORE"
+rm -rf "$STORE"
+
+wait_healthy() {
+  for _ in $(seq 1 50); do
+    if curl -sf "http://${ADDR}/healthz" >/dev/null 2>&1; then
+      return 0
+    fi
+    sleep 0.1
+  done
+  curl -sf "http://${ADDR}/healthz" >/dev/null
+}
+
+# The same flow against a real daemon over TCP: analyze, SIGTERM (the
+# drain path syncs and snapshots the store), restart, analyze again.
+"$BIN" -addr "$ADDR" -summary-store "$STORE" &
+DAEMON=$!
+trap 'kill "$DAEMON" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+wait_healthy
+
+"$BIN" loadgen -addr "$ADDR" -c 4 -duration 5s -mix analyze=3,batch=1,query=4 -strict
+
+kill -TERM "$DAEMON"
+wait "$DAEMON"
+
+"$BIN" -addr "$ADDR" -summary-store "$STORE" &
+DAEMON=$!
+wait_healthy
+
+# One analyze burst on the restarted daemon: its summary tier is
+# memory-cold, so any summary reuse can only come from disk.
+"$BIN" loadgen -addr "$ADDR" -c 2 -duration 2s -mix analyze=1 -strict
+
+# "hits" only occurs inside the summaryStore section (the cache
+# section uses programHits/summaryHits).
+METRICS="$(curl -sf "http://${ADDR}/metrics")"
+HITS="$(echo "$METRICS" | grep -o '"hits":[0-9]*' | head -1 | cut -d: -f2)"
+if [ -z "$HITS" ] || [ "$HITS" -eq 0 ]; then
+  echo "restarted daemon shows no warm summary-store hits in /metrics" >&2
+  echo "$METRICS" >&2
+  exit 1
+fi
+
+kill -TERM "$DAEMON"
+wait "$DAEMON"
+trap 'rm -rf "$TMP"' EXIT
+echo "store smoke OK (warm hits after restart: $HITS)"
