@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: verify build vet test race bench benchsmoke profile figures solverbench incrementalbench clockedbench parallelbench serverbench serversmoke storebench store-smoke fuzz fuzz-smoke clocked-smoke parallel-smoke
+.PHONY: verify build vet test race bench benchsmoke profile figures solverbench incrementalbench clockedbench parallelbench serverbench serversmoke storebench store-smoke fuzz fuzz-smoke clocked-smoke parallel-smoke gofrontbench gofront-smoke
 
 verify: build vet race
 
@@ -60,7 +60,7 @@ parallelbench:
 # both in-process (no TCP listener flakiness), seeded.
 serverbench:
 	printf '{"mixed": %s, "cachedQuery": %s}\n' \
-		"$$($(GO) run ./cmd/fx10d loadgen -c 8 -duration 10s -mix query=8,analyze=3,delta=1 -json)" \
+		"$$($(GO) run ./cmd/fx10d loadgen -c 8 -duration 10s -mix query=8,analyze=3,delta=1,goanalyze=1 -json)" \
 		"$$($(GO) run ./cmd/fx10d loadgen -c 16 -duration 10s -mix query=1 -json)" \
 		> BENCH_server.json
 
@@ -101,6 +101,21 @@ fuzz-smoke:
 clocked-smoke:
 	$(GO) run ./cmd/fx10 fuzz -clocked -seeds 1 -n 150
 	$(GO) run ./cmd/mhpbench -figure clocked -n 10
+
+# gofrontbench regenerates the committed Go-front-end figure
+# (per-corpus-program lowering coverage and pair counts; fails if a
+# runtime-observed pair escapes the static relation).
+gofrontbench:
+	$(GO) run ./cmd/mhpbench -figure gofront -benchjson BENCH_gofront.json
+
+# gofront-smoke is the CI gate for the Go front end: the committed
+# goprograms corpus under the race detector (observed ⊆ static on
+# every file) plus a fixed-seed cross-front-end oracle run (X10 and
+# Go renderings of the same program must analyze bit-identically
+# under every solver strategy).
+gofront-smoke:
+	$(GO) test -race -run 'TestGoPrograms' -count=1 ./internal/gofront
+	$(GO) run ./cmd/fx10 fuzz -frontends -seeds 1 -n 200
 
 # parallel-smoke is the CI gate for the concurrent solver: a small
 # huge-tier program solved by ptopo at several pool widths under the

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fx10/internal/condensed"
+	"fx10/internal/frontend"
+)
+
+const goFanOut = `package main
+
+import "sync"
+
+func work() {}
+
+func main() {
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+`
+
+// TestCmdMHPGoFile is the README quickstart: `fx10 mhp main.go`
+// analyzes a real Go file through the front-end boundary.
+func TestCmdMHPGoFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "main.go")
+	if err := os.WriteFile(path, []byte(goFanOut), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, args := range [][]string{
+		{"mhp", path},
+		{"mhp", "-lang", "go", path},
+		{"mhp", "-lang", "golang", path}, // alias
+		{"check", path},
+		{"print", path},
+		{"exec", path},
+	} {
+		if err := run(args); err != nil {
+			t.Errorf("%v: %v", args, err)
+		}
+	}
+}
+
+// TestParseSourceRouting pins which parser each (lang, path) lands on.
+func TestParseSourceRouting(t *testing.T) {
+	core := "array 2;\nvoid main() { L: a[0] = 1; }\n"
+	x10src := "void main() { async { skip; } }\n"
+
+	if _, err := parseSource("", "prog.fx10", core); err != nil {
+		t.Errorf(".fx10 default: %v", err)
+	}
+	if _, err := parseSource("fx10", "-", core); err != nil {
+		t.Errorf("-lang fx10 stdin: %v", err)
+	}
+	if _, err := parseSource("", "prog.x10", x10src); err != nil {
+		t.Errorf(".x10 default: %v", err)
+	}
+	if _, err := parseSource("go", "-", goFanOut); err != nil {
+		t.Errorf("-lang go stdin: %v", err)
+	}
+
+	// Stdin with no -lang: no extension to detect on, must classify as
+	// an input error (exit 2), not crash or mis-parse.
+	_, err := parseSource("", "-", goFanOut)
+	var ae *frontend.AmbiguousInputError
+	if !errors.As(err, &ae) {
+		t.Errorf("ambiguous stdin: got %v, want *AmbiguousInputError", err)
+	}
+	if exitCode(err) != 2 {
+		t.Errorf("ambiguous stdin: exit %d, want 2", exitCode(err))
+	}
+
+	// Forcing the wrong language is a parse error, exit 2.
+	_, err = parseSource("go", "prog.fx10", core)
+	var pe *frontend.ParseError
+	if !errors.As(err, &pe) || exitCode(err) != 2 {
+		t.Errorf("core source as -lang go: got %v (exit %d), want *ParseError/2", err, exitCode(err))
+	}
+
+	// Unknown language, exit 2.
+	_, err = parseSource("rust", "x.rs", "fn main() {}")
+	var ue *frontend.UnknownLanguageError
+	if !errors.As(err, &ue) || exitCode(err) != 2 {
+		t.Errorf("unknown -lang: got %v (exit %d), want *UnknownLanguageError/2", err, exitCode(err))
+	}
+}
+
+// TestExitCodeFrontendClasses extends the exit-code table with the
+// front-end error classes.
+func TestExitCodeFrontendClasses(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"frontend parse", &frontend.ParseError{Lang: "go", Err: errors.New("syntax")}, 2},
+		{"wrapped frontend parse", fmt.Errorf("load: %w", &frontend.ParseError{Lang: "x10", Err: errors.New("x")}), 2},
+		{"unknown language", &frontend.UnknownLanguageError{Lang: "rust"}, 2},
+		{"ambiguous input", &frontend.AmbiguousInputError{Path: "-"}, 2},
+		{"lowering", &condensed.LoweringError{Err: errors.New("duplicate method")}, 3},
+	}
+	for _, tc := range cases {
+		if got := exitCode(tc.err); got != tc.want {
+			t.Errorf("%s: exitCode = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}

@@ -27,6 +27,7 @@ func cmdFuzz(args []string) error {
 	failures := fs.String("failures", "testdata/fuzz-failures", "directory for reproducer files (written only on violation)")
 	selftest := fs.Bool("selftest", false, "fuzz a deliberately unsound analysis; succeeds only if the harness catches it")
 	clocked := fs.Bool("clocked", false, "fuzz the clocked corpus: barrier-aware exact relation vs the phase-aware analysis")
+	frontends := fs.Bool("frontends", false, "also run the cross-front-end oracle: render each program as X10 and as Go, lower both, require bit-identical reports")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -54,6 +55,7 @@ func cmdFuzz(args []string) error {
 		Minimize:    *minimize,
 		FailureDir:  *failures,
 		Clocked:     *clocked,
+		Frontends:   *frontends,
 	}
 	if *selftest {
 		cfg.Static = difffuzz.UnsoundStatic(difffuzz.EngineStatic())

@@ -3,14 +3,14 @@
 //
 // Usage:
 //
-//	fx10 run        [-sched S] [-seed N] [-steps N] [-a CSV] [-trace] FILE
-//	fx10 exec       [-procs N] [-a CSV] FILE
-//	fx10 mhp        [-mode M] [-strategy NAME] [-workers N] [-pairs] [-races] [-places] FILE
-//	fx10 constraints [-mode M] FILE
-//	fx10 explore    [-max N] [-a CSV] FILE
-//	fx10 fuzz       [-seeds CSV] [-n N] [-budget N] [-parallel N] [-minimize] [-incremental] [-clocked]
-//	fx10 print      FILE
-//	fx10 check      FILE
+//	fx10 run        [-lang L] [-sched S] [-seed N] [-steps N] [-a CSV] [-trace] FILE
+//	fx10 exec       [-lang L] [-procs N] [-a CSV] FILE
+//	fx10 mhp        [-lang L] [-mode M] [-strategy NAME] [-workers N] [-pairs] [-races] [-places] FILE
+//	fx10 constraints [-lang L] [-mode M] FILE
+//	fx10 explore    [-lang L] [-max N] [-a CSV] FILE
+//	fx10 fuzz       [-seeds CSV] [-n N] [-budget N] [-parallel N] [-minimize] [-incremental] [-clocked] [-frontends]
+//	fx10 print      [-lang L] FILE
+//	fx10 check      [-lang L] FILE
 //
 // run steps the formal small-step semantics (internal/machine); exec
 // executes with real goroutines (internal/runtime); mhp runs the
@@ -20,6 +20,12 @@
 // tests the analysis against the explorer and the instrumented
 // runtime (internal/difffuzz); print pretty-prints; check parses and
 // validates.
+//
+// FILE may be core FX10 (.fx10, parsed directly) or any language with
+// a registered front end (internal/frontend): X10-subset .x10 files
+// and restricted Go .go files, chosen by extension or forced with
+// -lang. `fx10 mhp main.go` analyzes a real Go file's goroutine
+// structure. FILE "-" reads stdin, which needs an explicit -lang.
 package main
 
 import (
@@ -27,15 +33,18 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
 	"strings"
 
 	"fx10/internal/clocks"
+	"fx10/internal/condensed"
 	"fx10/internal/constraints"
 	"fx10/internal/engine"
 	"fx10/internal/explore"
+	"fx10/internal/frontend"
 	"fx10/internal/labels"
 	"fx10/internal/machine"
 	"fx10/internal/mhp"
@@ -55,18 +64,24 @@ func main() {
 
 // exitCode distinguishes failure classes for scripting: 2 means the
 // input did not parse or failed static validation (including clock
-// misuse: next/advance inside an unclocked async) or named an
-// unregistered solver strategy, 3 means the analysis itself failed on
-// input that parsed, 1 is everything else.
+// misuse: next/advance inside an unclocked async), could not be routed
+// to a front end, or named an unregistered solver strategy; 3 means
+// the analysis (or the condensed→core lowering) itself failed on input
+// that parsed; 1 is everything else.
 func exitCode(err error) int {
 	var pe *parser.Error
 	var ce *syntax.ClockUseError
 	var ue *engine.UnknownStrategyError
+	var fpe *frontend.ParseError
+	var fue *frontend.UnknownLanguageError
+	var fae *frontend.AmbiguousInputError
 	var ae *engine.AnalysisError
+	var le *condensed.LoweringError
 	switch {
-	case errors.As(err, &pe), errors.As(err, &ce), errors.As(err, &ue):
+	case errors.As(err, &pe), errors.As(err, &ce), errors.As(err, &ue),
+		errors.As(err, &fpe), errors.As(err, &fue), errors.As(err, &fae):
 		return 2
-	case errors.As(err, &ae):
+	case errors.As(err, &ae), errors.As(err, &le):
 		return 3
 	}
 	return 1
@@ -100,21 +115,63 @@ func run(args []string) error {
 	return fmt.Errorf("unknown subcommand %q", cmd)
 }
 
-// loadProgram parses the positional FILE argument of a flag set.
+// langFlag registers the shared -lang flag on a subcommand's flag set;
+// loadProgram picks it up by name.
+func langFlag(fs *flag.FlagSet) {
+	fs.String("lang", "", "source language ("+strings.Join(frontend.Names(), ", ")+
+		", or fx10 for core syntax); default: .fx10 parses as core, other extensions are detected")
+}
+
+// loadProgram reads the positional FILE argument of a flag set ("-"
+// for stdin) and parses it via parseSource, honoring the -lang flag
+// when the subcommand registered one.
 func loadProgram(fs *flag.FlagSet) (*syntax.Program, error) {
 	if fs.NArg() != 1 {
 		return nil, fmt.Errorf("expected exactly one input file")
 	}
-	data, err := os.ReadFile(fs.Arg(0))
+	path := fs.Arg(0)
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
 	if err != nil {
 		return nil, err
 	}
-	p, err := parser.Parse(string(data))
-	if err != nil {
-		return nil, err
+	lang := ""
+	if f := fs.Lookup("lang"); f != nil {
+		lang = f.Value.String()
 	}
-	// A barrier inside an unclocked async always faults dynamically;
-	// reject it here (exit code 2) like any other invalid input.
+	return parseSource(lang, path, string(data))
+}
+
+// parseSource routes source text to a parser. Core FX10 (-lang fx10,
+// or a .fx10 extension with no -lang) goes straight to the core
+// parser, which preserves source label names; everything else goes
+// through the front-end registry (-lang, or extension detection) and
+// the condensed→core lowering. Either way a barrier inside an
+// unclocked async is rejected here (exit code 2) like any other
+// invalid input.
+func parseSource(lang, path, src string) (*syntax.Program, error) {
+	var p *syntax.Program
+	if lang == "fx10" || (lang == "" && strings.HasSuffix(path, ".fx10")) {
+		var err error
+		p, err = parser.Parse(src)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		u, _, err := frontend.Lower(lang, path, src)
+		if err != nil {
+			return nil, err
+		}
+		p, err = condensed.Lower(u)
+		if err != nil {
+			return nil, err
+		}
+	}
 	if err := syntax.CheckClockUse(p); err != nil {
 		return nil, err
 	}
@@ -139,6 +196,7 @@ func parseArray(csv string) ([]int64, error) {
 
 func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	langFlag(fs)
 	sched := fs.String("sched", "leftmost", "scheduler: leftmost or random")
 	seed := fs.Int64("seed", 0, "random scheduler seed")
 	steps := fs.Int("steps", 1_000_000, "maximum steps")
@@ -183,6 +241,7 @@ func cmdRun(args []string) error {
 
 func cmdExec(args []string) error {
 	fs := flag.NewFlagSet("exec", flag.ContinueOnError)
+	langFlag(fs)
 	procs := fs.Int("procs", 0, "max concurrent async goroutines (0 = unbounded)")
 	maxSteps := fs.Int64("steps", runtime.DefaultMaxSteps, "instruction budget")
 	a0 := fs.String("a", "", "initial array prefix")
@@ -208,6 +267,7 @@ func cmdExec(args []string) error {
 
 func cmdClocked(args []string) error {
 	fs := flag.NewFlagSet("clocked", flag.ContinueOnError)
+	langFlag(fs)
 	seed := fs.Int64("seed", 0, "scheduling seed")
 	steps := fs.Int("steps", 1_000_000, "step budget")
 	a0 := fs.String("a", "", "initial array prefix")
@@ -243,6 +303,7 @@ func parseMode(s string) (constraints.Mode, error) {
 
 func cmdMHP(args []string) error {
 	fs := flag.NewFlagSet("mhp", flag.ContinueOnError)
+	langFlag(fs)
 	mode := fs.String("mode", "cs", "analysis mode: cs (context-sensitive) or ci")
 	strategy := fs.String("strategy", "", "solver strategy (default: "+engine.DefaultStrategy+"); unknown names list the registered ones")
 	workers := fs.Int("workers", 0, "solver pool width for parallel strategies like ptopo (0 = strategy default); results never depend on it")
@@ -329,6 +390,7 @@ func cmdMHP(args []string) error {
 
 func cmdConstraints(args []string) error {
 	fs := flag.NewFlagSet("constraints", flag.ContinueOnError)
+	langFlag(fs)
 	mode := fs.String("mode", "cs", "analysis mode: cs or ci")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -350,6 +412,7 @@ func cmdConstraints(args []string) error {
 
 func cmdExplore(args []string) error {
 	fs := flag.NewFlagSet("explore", flag.ContinueOnError)
+	langFlag(fs)
 	maxStates := fs.Int("max", 1_000_000, "state budget")
 	a0 := fs.String("a", "", "initial array prefix")
 	if err := fs.Parse(args); err != nil {
@@ -381,6 +444,7 @@ func cmdExplore(args []string) error {
 
 func cmdPrint(args []string) error {
 	fs := flag.NewFlagSet("print", flag.ContinueOnError)
+	langFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -394,6 +458,7 @@ func cmdPrint(args []string) error {
 
 func cmdCheck(args []string) error {
 	fs := flag.NewFlagSet("check", flag.ContinueOnError)
+	langFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}

@@ -17,6 +17,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fx10/internal/condensed"
+	"fx10/internal/gofront"
 	"fx10/internal/progen"
 	"fx10/internal/server"
 	"fx10/internal/syntax"
@@ -53,7 +55,7 @@ func runLoadgen(args []string) error {
 	fs.IntVar(&cfg.concurrency, "c", 8, "concurrent clients")
 	fs.DurationVar(&cfg.duration, "duration", 10*time.Second, "traffic duration (after warmup)")
 	fs.Int64Var(&cfg.seed, "seed", 1, "rng seed (traffic is deterministic per seed)")
-	fs.StringVar(&cfg.mix, "mix", "query=8,analyze=3,delta=1", "weighted op mix (ops: query, analyze, delta, batch)")
+	fs.StringVar(&cfg.mix, "mix", "query=8,analyze=3,delta=1,goanalyze=1", "weighted op mix (ops: query, analyze, goanalyze, delta, batch)")
 	fs.StringVar(&cfg.mode, "mode", "cs", "analysis mode (cs or ci)")
 	fs.StringVar(&cfg.scenario, "scenario", "", `named scenario instead of mixed traffic ("restart")`)
 	fs.StringVar(&cfg.store, "store", "", "selfserve: persistent summary store directory")
@@ -120,6 +122,15 @@ func runLoadgen(args []string) error {
 		targets = append(targets, target{name: b.Name, hash: hash, source: src, prog: p, labels: names})
 	}
 
+	// Go-language traffic: deterministic restricted-Go sources derived
+	// from generated programs (condensed → gofront.Render), analyzed
+	// with language:"go" so the server's front-end path stays hot under
+	// load alongside the core-syntax ops.
+	goSources, err := renderGoSources(cfg.seed, 8)
+	if err != nil {
+		return err
+	}
+
 	var (
 		mu        sync.Mutex
 		latencies = map[string][]time.Duration{}
@@ -159,6 +170,10 @@ func runLoadgen(args []string) error {
 					}, nil)
 				case "analyze":
 					_, status, err = postAnalyze(client, base, t.source, cfg.mode)
+				case "goanalyze":
+					status, err = post(client, base+"/v1/analyze", server.AnalyzeRequest{
+						Source: goSources[rng.Intn(len(goSources))], Mode: cfg.mode, Language: "go",
+					}, nil)
 				case "delta":
 					mi := rng.Intn(len(sessProg.Methods))
 					sessProg = progen.MutateMethod(sessProg, mi, rng.Int63())
@@ -207,6 +222,28 @@ func runLoadgen(args []string) error {
 		}
 	}
 	return nil
+}
+
+// renderGoSources builds n deterministic restricted-Go programs for
+// the goanalyze op: generated core programs converted to condensed
+// form and rendered as Go (the same path the cross-front-end oracle
+// exercises). Clock-free by construction (progen.Finite), so every
+// source lowers.
+func renderGoSources(seed int64, n int) ([]string, error) {
+	var out []string
+	for i := int64(0); len(out) < n; i++ {
+		p := progen.Generate(seed+i, progen.Finite())
+		u, err := condensed.FromProgram(p)
+		if err != nil {
+			return nil, fmt.Errorf("goanalyze corpus: %w", err)
+		}
+		src, err := gofront.Render(u)
+		if err != nil {
+			return nil, fmt.Errorf("goanalyze corpus: %w", err)
+		}
+		out = append(out, src)
+	}
+	return out, nil
 }
 
 // selfserve starts an in-process server on a loopback port.
@@ -269,10 +306,10 @@ func parseMix(s string) (map[string]int, error) {
 			return nil, fmt.Errorf("bad mix weight %q", v)
 		}
 		switch k {
-		case "query", "analyze", "delta", "batch":
+		case "query", "analyze", "goanalyze", "delta", "batch":
 			out[k] = n
 		default:
-			return nil, fmt.Errorf("unknown op %q (want query, analyze, delta or batch)", k)
+			return nil, fmt.Errorf("unknown op %q (want query, analyze, goanalyze, delta or batch)", k)
 		}
 	}
 	return out, nil
@@ -287,7 +324,7 @@ func pickOp(rng *rand.Rand, weights map[string]int) string {
 		return "query"
 	}
 	n := rng.Intn(total)
-	for _, op := range []string{"query", "analyze", "delta", "batch"} {
+	for _, op := range []string{"query", "analyze", "goanalyze", "delta", "batch"} {
 		if n -= weights[op]; n < 0 {
 			return op
 		}
@@ -377,7 +414,7 @@ func printReport(w io.Writer, rep lgReport) {
 	for _, c := range codes {
 		fmt.Fprintf(w, "  status %s: %d\n", c, rep.Statuses[c])
 	}
-	for _, op := range []string{"query", "analyze", "delta", "batch"} {
+	for _, op := range []string{"query", "analyze", "goanalyze", "delta", "batch"} {
 		st, ok := rep.Ops[op]
 		if !ok {
 			continue

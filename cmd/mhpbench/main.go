@@ -19,12 +19,16 @@
 // scratch; the clocked figure compares clock-blind and clock-aware
 // pair counts over a generated clocked corpus (-n programs); the
 // parallel figure races worklist/topo/ptopo on the progen huge tier
-// across pool widths and locates the topo→ptopo crossover. -benchjson
-// additionally writes the selected sweep machine-readably (the
-// committed BENCH_solver.json / BENCH_incremental.json /
-// BENCH_clocked.json / BENCH_parallel.json / BENCH_store.json; the
-// store figure measures cold starts against the persistent summary
-// store in its no/empty/warm configurations).
+// across pool widths and locates the topo→ptopo crossover; the
+// gofront figure sweeps the committed Go corpus (-gocorpus) through
+// the real-Go front end and reports lowering coverage and pair
+// counts, failing if any runtime-observed pair escapes the static
+// relation. -benchjson additionally writes the selected sweep
+// machine-readably (the committed BENCH_solver.json /
+// BENCH_incremental.json / BENCH_clocked.json / BENCH_parallel.json /
+// BENCH_store.json / BENCH_gofront.json; the store figure measures
+// cold starts against the persistent summary store in its
+// no/empty/warm configurations).
 package main
 
 import (
@@ -46,7 +50,7 @@ import (
 var figures = []string{
 	"examples", "5", "6", "7", "8", "9",
 	"precision", "scaling", "corpus",
-	"solver", "incremental", "clocked", "parallel", "store",
+	"solver", "incremental", "clocked", "parallel", "store", "gofront",
 }
 
 // allFigures is what -figure all selects: the paper regeneration
@@ -62,8 +66,9 @@ func main() {
 	strategy := flag.String("strategy", "", "solver strategy for the incremental figure (default: "+engine.DefaultStrategy+")")
 	benchjson := flag.String("benchjson", "", "with -figure solver, incremental or clocked: also write the sweep as JSON to this file")
 	n := flag.Int("n", 40, "generated programs for the clocked figure")
+	gocorpus := flag.String("gocorpus", "testdata/goprograms", "Go corpus directory for the gofront figure")
 	flag.Parse()
-	if err := run(*figure, *parallel, *strategy, *benchjson, *n); err != nil {
+	if err := run(*figure, *parallel, *strategy, *benchjson, *n, *gocorpus); err != nil {
 		fmt.Fprintln(os.Stderr, "mhpbench:", err)
 		os.Exit(exitCode(err))
 	}
@@ -85,7 +90,7 @@ func exitCode(err error) int {
 	return 1
 }
 
-func run(figure string, parallel int, strategy, benchjson string, clockedN int) error {
+func run(figure string, parallel int, strategy, benchjson string, clockedN int, gocorpus string) error {
 	// Fail early on a bad strategy name; the error lists the
 	// registered names.
 	if _, err := engine.Lookup(strategy); err != nil {
@@ -248,6 +253,20 @@ func run(figure string, parallel int, strategy, benchjson string, clockedN int) 
 		fmt.Print(experiments.FormatParallelBench(bench))
 		if benchjson != "" {
 			if err := experiments.WriteParallelBenchJSON(bench, benchjson); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", benchjson)
+		}
+	}
+	if want["gofront"] {
+		section("Go front end: corpus coverage and pair counts (observed ⊆ static)")
+		bench, err := experiments.RunGofrontBench(gocorpus, 4)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatGofrontBench(bench))
+		if benchjson != "" {
+			if err := experiments.WriteGofrontBenchJSON(bench, benchjson); err != nil {
 				return err
 			}
 			fmt.Printf("wrote %s\n", benchjson)

@@ -34,7 +34,7 @@ func captureRunParallel(t *testing.T, figure string, parallel int) (string, erro
 		}
 		done <- sb.String()
 	}()
-	ferr := run(figure, parallel, "", "", 5)
+	ferr := run(figure, parallel, "", "", 5, "../../testdata/goprograms")
 	w.Close()
 	os.Stdout = old
 	return <-done, ferr
@@ -151,7 +151,7 @@ func TestParallelSection(t *testing.T) {
 	defer func() { os.Stdout = old; devnull.Close() }()
 
 	path := t.TempDir() + "/bench.json"
-	if err := run("parallel", 1, "", path, 5); err != nil {
+	if err := run("parallel", 1, "", path, 5, ""); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	data, err := os.ReadFile(path)
@@ -178,7 +178,7 @@ func TestSolverSection(t *testing.T) {
 	defer func() { os.Stdout = old; devnull.Close() }()
 
 	path := t.TempDir() + "/bench.json"
-	if err := run("solver", 1, "", path, 5); err != nil {
+	if err := run("solver", 1, "", path, 5, ""); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	data, err := os.ReadFile(path)
@@ -205,7 +205,7 @@ func TestIncrementalSection(t *testing.T) {
 	defer func() { os.Stdout = old; devnull.Close() }()
 
 	path := t.TempDir() + "/bench.json"
-	if err := run("incremental", 1, "worklist", path, 5); err != nil {
+	if err := run("incremental", 1, "worklist", path, 5, ""); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	data, err := os.ReadFile(path)
@@ -220,7 +220,7 @@ func TestIncrementalSection(t *testing.T) {
 }
 
 func TestUnknownStrategy(t *testing.T) {
-	err := run("incremental", 1, "no-such-solver", "", 5)
+	err := run("incremental", 1, "no-such-solver", "", 5, "")
 	if err == nil {
 		t.Fatal("unknown strategy accepted")
 	}
@@ -243,7 +243,7 @@ func TestClockedSection(t *testing.T) {
 		n = 3
 	}
 	path := t.TempDir() + "/bench.json"
-	if err := run("clocked", 1, "", path, n); err != nil {
+	if err := run("clocked", 1, "", path, n, ""); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	data, err := os.ReadFile(path)
@@ -268,6 +268,30 @@ func TestCorpusSection(t *testing.T) {
 	for _, frag := range []string{"Corpus engine", "workers: 4", "speedup", "identical to sequential: true"} {
 		if !strings.Contains(out, frag) {
 			t.Fatalf("corpus output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestGofrontSection(t *testing.T) {
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() { os.Stdout = old; devnull.Close() }()
+
+	path := t.TempDir() + "/bench.json"
+	if err := run("gofront", 1, "", path, 5, "../../testdata/goprograms"); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("benchjson not written: %v", err)
+	}
+	for _, frag := range []string{`"file": "fanout.go"`, `"file": "leaky.go"`, `"coverage"`, `"cs_pairs"`, `"observed_pairs"`} {
+		if !strings.Contains(string(data), frag) {
+			t.Fatalf("benchjson missing %q:\n%s", frag, data)
 		}
 	}
 }

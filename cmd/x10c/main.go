@@ -1,52 +1,86 @@
-// Command x10c is the X10-subset front end: it parses an X10-like
-// source file into the condensed form of Figure 7, reports node and
-// async statistics, and can lower the program to core FX10 concrete
+// Command x10c is the front-end driver: it lowers a source file
+// through the language front-end boundary (internal/frontend) into
+// the condensed form of Figure 7, reports node/async statistics and
+// lowering diagnostics, and can lower further to core FX10 concrete
 // syntax for the fx10 tool.
 //
 // Usage:
 //
-//	x10c [-stats] [-lower] FILE.x10
+//	x10c [-lang x10|go] [-stats] [-lower] [-diag] FILE
+//
+// The front end is chosen by -lang, or detected from the file
+// extension (.x10, .go). Reading from stdin ("-") requires an
+// explicit -lang. Exit codes follow the fx10/mhpbench convention:
+// 2 for parse/input errors, 3 for lowering/analysis errors, 1
+// otherwise.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"fx10/internal/condensed"
+	"fx10/internal/frontend"
 	"fx10/internal/syntax"
-	"fx10/internal/x10"
 )
 
 func main() {
+	lang := flag.String("lang", "", "source language ("+strings.Join(frontend.Names(), ", ")+"); default: detect from extension")
 	stats := flag.Bool("stats", true, "print node and async statistics")
 	lower := flag.Bool("lower", false, "print the lowered core FX10 program")
+	diag := flag.Bool("diag", false, "print per-construct lowering diagnostics")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: x10c [-stats] [-lower] FILE.x10")
+		fmt.Fprintln(os.Stderr, "usage: x10c [-lang LANG] [-stats] [-lower] [-diag] FILE")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *stats, *lower); err != nil {
+	if err := run(*lang, flag.Arg(0), *stats, *lower, *diag); err != nil {
 		fmt.Fprintln(os.Stderr, "x10c:", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
 }
 
-func run(path string, stats, lower bool) error {
-	data, err := os.ReadFile(path)
+// exitCode implements the shared CLI convention: 2 for parse or
+// input errors (including front-end detection failures), 3 for
+// analysis-stage errors (lowering), 1 otherwise.
+func exitCode(err error) int {
+	var pe *frontend.ParseError
+	var ue *frontend.UnknownLanguageError
+	var ae *frontend.AmbiguousInputError
+	var le *condensed.LoweringError
+	switch {
+	case errors.As(err, &pe), errors.As(err, &ue), errors.As(err, &ae):
+		return 2
+	case errors.As(err, &le):
+		return 3
+	}
+	return 1
+}
+
+func run(lang, path string, stats, lower, diag bool) error {
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
 	if err != nil {
 		return err
 	}
-	unit, st, err := x10.Parse(string(data))
+	unit, st, err := frontend.Lower(lang, path, string(data))
 	if err != nil {
 		return err
 	}
-	rewritten := x10.ResolveCalls(unit)
 
 	if stats {
 		c := unit.NodeCounts()
 		a := unit.AsyncStats()
-		fmt.Printf("loc: %d (library calls condensed to skip: %d)\n", st.LOC, rewritten)
+		fmt.Printf("loc: %d (constructs condensed to skip: %d)\n", st.LOC, len(st.Dropped))
 		fmt.Printf("nodes: total=%d end=%d async=%d call=%d finish=%d if=%d loop=%d method=%d return=%d skip=%d switch=%d\n",
 			c.Total,
 			c.Of(condensed.End), c.Of(condensed.Async), c.Of(condensed.Call),
@@ -55,11 +89,18 @@ func run(path string, stats, lower bool) error {
 			c.Of(condensed.Switch))
 		fmt.Printf("asyncs: total=%d loop=%d place-switch=%d plain=%d\n",
 			a.Total, a.Loop, a.PlaceSwitch, a.Plain)
+		fmt.Printf("coverage: %.2f (%d of %d statements lowered faithfully)\n",
+			st.Coverage(), st.Stmts-len(st.Dropped), st.Stmts)
+	}
+	if diag {
+		for _, d := range st.Dropped {
+			fmt.Printf("dropped: %s\n", d)
+		}
 	}
 	if lower {
 		p, err := condensed.Lower(unit)
 		if err != nil {
-			return fmt.Errorf("lowering: %w", err)
+			return err
 		}
 		fmt.Print(syntax.Print(p))
 	}

@@ -1,13 +1,17 @@
 package main
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"fx10/internal/condensed"
+	"fx10/internal/frontend"
 )
 
-func captureRun(t *testing.T, path string, stats, lower bool) (string, error) {
+func captureRun(t *testing.T, lang, path string, stats, lower, diag bool) (string, error) {
 	t.Helper()
 	old := os.Stdout
 	r, w, err := os.Pipe()
@@ -15,7 +19,7 @@ func captureRun(t *testing.T, path string, stats, lower bool) (string, error) {
 		t.Fatal(err)
 	}
 	os.Stdout = w
-	ferr := run(path, stats, lower)
+	ferr := run(lang, path, stats, lower, diag)
 	w.Close()
 	os.Stdout = old
 	var sb strings.Builder
@@ -31,7 +35,7 @@ func captureRun(t *testing.T, path string, stats, lower bool) (string, error) {
 }
 
 func TestX10cStatsAndLower(t *testing.T) {
-	out, err := captureRun(t, "../../testdata/pipeline.x10", true, true)
+	out, err := captureRun(t, "", "../../testdata/pipeline.x10", true, true, false)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -39,6 +43,7 @@ func TestX10cStatsAndLower(t *testing.T) {
 		"loc:",
 		"nodes: total=",
 		"asyncs: total=2 loop=1 place-switch=1 plain=0",
+		"coverage:",
 		"void main() {",
 		"void map() {",
 		"while (a[0] != 0) {", // the lowered foreach loop
@@ -64,17 +69,54 @@ void helper() { return; }
 	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	out, err := captureRun(t, path, true, false)
+	out, err := captureRun(t, "", path, true, false, true)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
-	if !strings.Contains(out, "library calls condensed to skip: 1") {
+	if !strings.Contains(out, "constructs condensed to skip: 1") {
 		t.Fatalf("resolve count wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "dropped: library call unknown") {
+		t.Fatalf("-diag output missing the library-call diagnostic:\n%s", out)
+	}
+}
+
+func TestX10cGoSource(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "main.go")
+	src := `package main
+
+import "sync"
+
+func work() {}
+
+func main() {
+	var wg sync.WaitGroup
+	wg.Go(work)
+	wg.Wait()
+}
+`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Extension detection: no -lang needed for .go.
+	out, err := captureRun(t, "", path, true, true, false)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, frag := range []string{
+		"finish {", // the WaitGroup span
+		"async {",  // the wg.Go spawn
+		"void work() {",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("output missing %q:\n%s", frag, out)
+		}
 	}
 }
 
 func TestX10cErrors(t *testing.T) {
-	if _, err := captureRun(t, "/nonexistent.x10", true, false); err == nil {
+	if _, err := captureRun(t, "", "/nonexistent.x10", true, false, false); err == nil {
 		t.Fatalf("missing file accepted")
 	}
 	dir := t.TempDir()
@@ -82,7 +124,81 @@ func TestX10cErrors(t *testing.T) {
 	if err := os.WriteFile(path, []byte("void main() { async {"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := captureRun(t, path, true, false); err == nil {
+	_, err := captureRun(t, "", path, true, false, false)
+	if err == nil {
 		t.Fatalf("bad source accepted")
+	}
+	var pe *frontend.ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("parse failure not a *frontend.ParseError: %v", err)
+	}
+}
+
+// TestX10cExitCodes pins the CLI convention: parse/input/detection
+// errors exit 2, analysis (lowering) errors exit 3, everything else 1.
+func TestX10cExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"parse", &frontend.ParseError{Lang: "go", Err: errors.New("syntax")}, 2},
+		{"unknown-lang", &frontend.UnknownLanguageError{Lang: "rust"}, 2},
+		{"ambiguous", &frontend.AmbiguousInputError{Path: "-"}, 2},
+		{"lowering", &condensed.LoweringError{Err: errors.New("no main")}, 3},
+		{"wrapped-lowering", errors.Join(errors.New("ctx"), &condensed.LoweringError{Err: errors.New("dup")}), 3},
+		{"io", os.ErrNotExist, 1},
+	}
+	for _, tc := range cases {
+		if got := exitCode(tc.err); got != tc.want {
+			t.Errorf("%s: exitCode = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestX10cDetectionEdges covers the detection edge cases: an empty
+// file with an unclaimed extension, forcing the wrong language onto a
+// file, and input with no extension at all. All must classify as
+// input errors (exit 2).
+func TestX10cDetectionEdges(t *testing.T) {
+	dir := t.TempDir()
+
+	// Empty file, extension claimed by no front end: detection fails.
+	empty := filepath.Join(dir, "empty.txt")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := captureRun(t, "", empty, true, false, false)
+	var ae *frontend.AmbiguousInputError
+	if !errors.As(err, &ae) {
+		t.Fatalf("empty unclaimed file: got %v, want *AmbiguousInputError", err)
+	}
+	if exitCode(err) != 2 {
+		t.Fatalf("empty unclaimed file: exit %d, want 2", exitCode(err))
+	}
+
+	// X10 source forced through the Go front end: parse error, exit 2.
+	x10path := filepath.Join(dir, "prog.fx10")
+	if err := os.WriteFile(x10path, []byte("def main() { skip; }"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = captureRun(t, "go", x10path, true, false, false)
+	var pe *frontend.ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf(".fx10 with -lang go: got %v, want *ParseError", err)
+	}
+	if pe.Lang != "go" || exitCode(err) != 2 {
+		t.Fatalf(".fx10 with -lang go: lang %q exit %d, want go/2", pe.Lang, exitCode(err))
+	}
+
+	// Empty .go file: claimed by the Go front end, parse succeeds but
+	// there is no main to analyze — still a front-end error, exit 2.
+	goEmpty := filepath.Join(dir, "empty.go")
+	if err := os.WriteFile(goEmpty, []byte("package main\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = captureRun(t, "", goEmpty, true, false, false)
+	if !errors.As(err, &pe) || exitCode(err) != 2 {
+		t.Fatalf("empty .go file: got %v (exit %d), want *ParseError/2", err, exitCode(err))
 	}
 }

@@ -3,8 +3,13 @@
 // 2010): the FX10 calculus and its small-step operational semantics,
 // the may-happen-in-parallel type system and its constraint-based
 // type inference (context-sensitive and context-insensitive), a
-// goroutine-backed runtime, an X10-subset front end with the paper's
-// condensed program form, synthetic reconstructions of the paper's 13
+// goroutine-backed runtime, a language-agnostic front-end layer
+// (internal/frontend) over the paper's condensed program form with
+// two registered front ends — the X10 subset and real Go
+// (internal/gofront: `go` statements lower to async,
+// WaitGroup/errgroup join spans to finish, the rest skip-lowered
+// conservatively with diagnostics, so `fx10 mhp main.go` analyzes
+// ordinary Go), synthetic reconstructions of the paper's 13
 // benchmarks, and harnesses regenerating Figures 5–9. The analysis
 // runs through a unified engine with five pluggable solver strategies
 // (including ptopo, a parallel topological solver that schedules SCC
@@ -20,8 +25,13 @@
 // BENCH_parallel.json). The engine also serves as a long-lived
 // HTTP/JSON daemon (cmd/fx10d): admission-controlled solves,
 // singleflight coalescing, batch corpus submission under one
-// admission slot (/v1/batch), editor delta sessions, and live
-// metrics including the summary store's warm-start hit rate. The Section 8 clocks
+// admission slot (/v1/batch), editor delta sessions, per-request
+// language selection through the front-end registry, and live
+// metrics including the summary store's warm-start hit rate. Front
+// ends are held to the analysis's soundness bar by a cross-front-end
+// oracle (X10 and Go renderings of the same program must analyze
+// bit-identically under every strategy, and runtime-observed pairs
+// on lowered Go must be contained in the static relation). The Section 8 clocks
 // extension is analyzed, not just executed: per-label phase
 // inference (internal/clocks) feeds phase-ordering facts into
 // constraint solving, so barrier-separated pairs are pruned

@@ -208,9 +208,20 @@ func classifyBlock(s *AsyncStats, block []*Node, inLoop bool) {
 // guard cell 0 and the remaining cells are free for workloads.
 const LowerArrayLen = 4
 
+// LoweringError wraps a condensed→core lowering failure (a malformed
+// unit: duplicate methods, no main, …). It is the analysis-stage
+// error class of the CLI exit-code convention (exit 3), distinct from
+// front-end parse failures (exit 2).
+type LoweringError struct {
+	Err error
+}
+
+func (e *LoweringError) Error() string { return fmt.Sprintf("lowering: %v", e.Err) }
+func (e *LoweringError) Unwrap() error { return e.Err }
+
 // Lower translates the unit to a core FX10 program (see the package
 // comment for the node-by-node mapping). Method and label names are
-// preserved where present.
+// preserved where present. Failures are *LoweringError.
 func Lower(u *Unit) (*syntax.Program, error) {
 	b := syntax.NewBuilder(LowerArrayLen)
 	for _, m := range u.Methods {
@@ -219,10 +230,14 @@ func Lower(u *Unit) (*syntax.Program, error) {
 			instrs = []syntax.Instr{b.Skip("")}
 		}
 		if err := b.AddMethod(m.Name, b.Stmts(instrs...)); err != nil {
-			return nil, err
+			return nil, &LoweringError{Err: err}
 		}
 	}
-	return b.Program()
+	p, err := b.Program()
+	if err != nil {
+		return nil, &LoweringError{Err: err}
+	}
+	return p, nil
 }
 
 // MustLower is Lower that panics on error, for workload definitions.

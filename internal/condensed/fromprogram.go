@@ -1,0 +1,68 @@
+package condensed
+
+import (
+	"fmt"
+
+	"fx10/internal/syntax"
+)
+
+// FromProgram converts a core FX10 program to condensed form — the
+// inverse direction of Lower, up to the lossy parts of lowering:
+// assignments come back as skip (the condensed form is
+// value-insensitive) and loop guards are dropped. It exists for the
+// cross-front-end oracle: a generated syntax.Program converted here
+// can be rendered as X10 (x10.Render) and as Go (gofront.Render) and
+// pushed through both front ends, which must agree bit-for-bit.
+//
+// FromProgram(p) then Lower gives a program with the same shape and
+// label structure as p (labels are re-assigned in the same traversal
+// order), so MHP reports over the round-tripped program match reports
+// over an identically-shaped original.
+func FromProgram(p *syntax.Program) (*Unit, error) {
+	u := &Unit{}
+	for _, m := range p.Methods {
+		body, err := fromStmt(m.Body)
+		if err != nil {
+			return nil, fmt.Errorf("condensed: method %s: %w", m.Name, err)
+		}
+		u.Methods = append(u.Methods, &MethodDecl{Name: m.Name, Body: body})
+	}
+	return u, nil
+}
+
+func fromStmt(s *syntax.Stmt) ([]*Node, error) {
+	var out []*Node
+	for cur := s; cur != nil; cur = cur.Next {
+		switch i := cur.Instr.(type) {
+		case *syntax.Skip:
+			out = append(out, &Node{Kind: Skip})
+		case *syntax.Assign:
+			out = append(out, &Node{Kind: Skip})
+		case *syntax.Next:
+			out = append(out, &Node{Kind: Advance})
+		case *syntax.Call:
+			out = append(out, &Node{Kind: Call, Callee: i.Name})
+		case *syntax.While:
+			body, err := fromStmt(i.Body)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, &Node{Kind: Loop, Body: body})
+		case *syntax.Async:
+			body, err := fromStmt(i.Body)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, &Node{Kind: Async, Body: body, Place: i.Place, Clocked: i.Clocked})
+		case *syntax.Finish:
+			body, err := fromStmt(i.Body)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, &Node{Kind: Finish, Body: body})
+		default:
+			return nil, fmt.Errorf("unknown instruction kind %T", cur.Instr)
+		}
+	}
+	return out, nil
+}

@@ -240,6 +240,12 @@ type Config struct {
 	Strategies []string
 	// Static computes the static relation (default EngineStatic()).
 	Static StaticFunc
+	// Frontends enables the cross-front-end oracle: each (unclocked)
+	// program is rendered as X10 and as Go source, lowered through
+	// both front ends, and the per-strategy MHP reports must be
+	// bit-identical; the runtime observer additionally checks
+	// observed ⊆ static on the Go-lowered program. See CheckFrontends.
+	Frontends bool
 	// Incremental enables the incremental oracle: each program is
 	// mutated in one seeded-random method and re-analyzed both
 	// incrementally (engine.AnalyzeDelta) and from scratch under every
@@ -412,6 +418,12 @@ func checkProgram(cfg Config, p *syntax.Program, seed int64) (stat ProgramStat, 
 	// re-analyze to the same valuation incrementally as from scratch.
 	if cfg.Incremental {
 		vs = append(vs, checkIncremental(cfg, p, seed)...)
+	}
+
+	// Cross-front-end oracle: X10 and Go renderings of the program
+	// must analyze bit-identically through their front ends.
+	if cfg.Frontends {
+		vs = append(vs, CheckFrontends(p, seed, cfg.Strategies)...)
 	}
 
 	// Exact relation by exhaustive interleaving search — under the

@@ -1,0 +1,217 @@
+// Package frontend is the language boundary of the analysis
+// pipeline: every source language that can be lowered to the paper's
+// condensed form (Figure 7) registers a Frontend here, and every
+// consumer — the CLIs, the daemon, the fuzzer, the benchmarks — goes
+// through Lookup/Detect instead of importing a parser directly.
+//
+// A Frontend owns exactly one job: turn source text into a
+// *condensed.Unit plus lowering statistics. What the front end cannot
+// express in the calculus it must drop *conservatively* — lowering an
+// unknown construct to skip (never inventing an ordering edge such as
+// finish) keeps the downstream MHP analysis sound, in the spirit of
+// Might & Van Horn's conservative summaries for constructs outside
+// the modeled language. Each such drop is reported as a Diagnostic so
+// callers can measure lowering coverage.
+package frontend
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"fx10/internal/condensed"
+)
+
+// Diagnostic records one source construct the front end could not
+// express in the condensed form and therefore lowered conservatively
+// (to skip, or dropped entirely when it is pure bookkeeping).
+type Diagnostic struct {
+	Line      int    `json:"line,omitempty"` // 1-based source line, 0 if unknown
+	Construct string `json:"construct"`      // e.g. "channel send", "library call"
+	Detail    string `json:"detail,omitempty"`
+}
+
+func (d Diagnostic) String() string {
+	s := d.Construct
+	if d.Detail != "" {
+		s += " " + d.Detail
+	}
+	if d.Line > 0 {
+		s = fmt.Sprintf("line %d: %s", d.Line, s)
+	}
+	return s
+}
+
+// Stats describes one lowering: how much source went in, how many
+// statements the front end saw, and which constructs it dropped.
+// Coverage (1 - len(Dropped)/Stmts) is the front end's honesty
+// metric: a unit lowered with coverage 1.0 is modeled exactly; every
+// dropped construct widens the static answer but never narrows it.
+type Stats struct {
+	LOC     int          // non-blank source lines
+	Stmts   int          // statements the front end visited
+	Dropped []Diagnostic // conservatively-lowered constructs
+}
+
+// Coverage is the fraction of visited statements lowered faithfully.
+func (s Stats) Coverage() float64 {
+	if s.Stmts == 0 {
+		return 1
+	}
+	return 1 - float64(len(s.Dropped))/float64(s.Stmts)
+}
+
+// Frontend lowers one source language to the condensed form.
+type Frontend interface {
+	// Name is the language key used by -lang flags and the
+	// server's "language" field (e.g. "x10", "go").
+	Name() string
+	// Detect reports whether this front end claims the input,
+	// judging by path (extension) and, if needed, source text.
+	Detect(path, src string) bool
+	// Lower parses src and produces a condensed unit. Parse
+	// failures are returned wrapped in *ParseError by Lookup'd
+	// callers via the registry adapters.
+	Lower(src string) (*condensed.Unit, Stats, error)
+}
+
+// ParseError wraps a front end's parse failure so CLI exit-code
+// policy (parse → 2) can classify it without knowing the language.
+type ParseError struct {
+	Lang string
+	Err  error
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("%s: %v", e.Lang, e.Err) }
+func (e *ParseError) Unwrap() error { return e.Err }
+
+// UnknownLanguageError is returned by Lookup for an unregistered
+// language name. CLIs map it to exit 2 (input error).
+type UnknownLanguageError struct {
+	Lang  string
+	Known []string
+}
+
+func (e *UnknownLanguageError) Error() string {
+	return fmt.Sprintf("unknown language %q (known: %s)", e.Lang, strings.Join(e.Known, ", "))
+}
+
+// AmbiguousInputError is returned by Detect when zero or more than
+// one front end claims the input — typically stdin with no extension.
+// CLIs map it to exit 2 and tell the user to pass -lang.
+type AmbiguousInputError struct {
+	Path   string
+	Claims []string // names of claiming front ends; empty if none
+}
+
+func (e *AmbiguousInputError) Error() string {
+	if len(e.Claims) == 0 {
+		return fmt.Sprintf("cannot detect a front end for %q; pass -lang (%s)", e.Path, strings.Join(Names(), ", "))
+	}
+	return fmt.Sprintf("input %q matches several front ends (%s); pass -lang to disambiguate",
+		e.Path, strings.Join(e.Claims, ", "))
+}
+
+var (
+	mu       sync.RWMutex
+	registry = map[string]Frontend{}
+	aliases  = map[string]string{}
+)
+
+// Register adds a front end under its Name. Extra aliases (e.g.
+// "fx10" for the x10 front end) may be registered with RegisterAlias.
+// Register panics on duplicates: front ends are wired at init time
+// and a collision is a programming error.
+func Register(f Frontend) {
+	mu.Lock()
+	defer mu.Unlock()
+	name := f.Name()
+	if _, dup := registry[name]; dup {
+		panic("frontend: duplicate registration of " + name)
+	}
+	registry[name] = f
+}
+
+// RegisterAlias makes alias resolve to the front end named canonical.
+func RegisterAlias(alias, canonical string) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := registry[canonical]; !ok {
+		panic("frontend: alias " + alias + " for unregistered " + canonical)
+	}
+	aliases[alias] = canonical
+}
+
+// Lookup resolves a language name (or alias) to its front end.
+func Lookup(lang string) (Frontend, error) {
+	mu.RLock()
+	defer mu.RUnlock()
+	name := strings.ToLower(strings.TrimSpace(lang))
+	if canon, ok := aliases[name]; ok {
+		name = canon
+	}
+	if f, ok := registry[name]; ok {
+		return f, nil
+	}
+	return nil, &UnknownLanguageError{Lang: lang, Known: namesLocked()}
+}
+
+// Names returns the registered canonical front-end names, sorted.
+func Names() []string {
+	mu.RLock()
+	defer mu.RUnlock()
+	return namesLocked()
+}
+
+func namesLocked() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Detect picks the unique front end claiming (path, src). If none or
+// several claim it, the error is an *AmbiguousInputError (exit 2 in
+// the CLIs, with a hint to pass -lang).
+func Detect(path, src string) (Frontend, error) {
+	mu.RLock()
+	defer mu.RUnlock()
+	var claims []Frontend
+	for _, name := range namesLocked() {
+		if f := registry[name]; f.Detect(path, src) {
+			claims = append(claims, f)
+		}
+	}
+	if len(claims) == 1 {
+		return claims[0], nil
+	}
+	names := make([]string, len(claims))
+	for i, f := range claims {
+		names[i] = f.Name()
+	}
+	return nil, &AmbiguousInputError{Path: path, Claims: names}
+}
+
+// Lower is the one-call convenience: resolve lang (or detect from
+// path when lang is empty) and lower src. Parse failures come back
+// as *ParseError so callers can classify them uniformly.
+func Lower(lang, path, src string) (*condensed.Unit, Stats, error) {
+	var f Frontend
+	var err error
+	if lang != "" {
+		f, err = Lookup(lang)
+	} else {
+		f, err = Detect(path, src)
+	}
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	u, stats, err := f.Lower(src)
+	if err != nil {
+		return nil, Stats{}, &ParseError{Lang: f.Name(), Err: err}
+	}
+	return u, stats, nil
+}

@@ -1,0 +1,65 @@
+package frontend
+
+import (
+	"strings"
+
+	"fx10/internal/condensed"
+	"fx10/internal/gofront"
+	"fx10/internal/x10"
+)
+
+// The built-in front ends register here, at the boundary, so the
+// language packages themselves stay free of registry knowledge (and
+// of each other).
+func init() {
+	Register(x10Front{})
+	Register(goFront{})
+	RegisterAlias("golang", "go")
+}
+
+// x10Front adapts internal/x10 (the X10-subset parser) to the
+// boundary. Library calls — calls to methods not defined in the unit
+// — are resolved to skip, the paper implementation's behavior, and
+// reported as dropped constructs.
+type x10Front struct{}
+
+func (x10Front) Name() string { return "x10" }
+
+func (x10Front) Detect(path, _ string) bool { return strings.HasSuffix(path, ".x10") }
+
+func (x10Front) Lower(src string) (*condensed.Unit, Stats, error) {
+	u, st, err := x10.Parse(src)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	c := u.NodeCounts()
+	stats := Stats{
+		LOC: st.LOC,
+		// Statements are the materialized nodes: everything but the
+		// implicit End terminators and the Method nodes themselves.
+		Stmts: c.Total - c.Of(condensed.End) - c.Of(condensed.Method),
+	}
+	for _, name := range x10.ResolveCallsNamed(u) {
+		stats.Dropped = append(stats.Dropped, Diagnostic{Construct: "library call", Detail: name})
+	}
+	return u, stats, nil
+}
+
+// goFront adapts internal/gofront (the restricted-Go front end).
+type goFront struct{}
+
+func (goFront) Name() string { return "go" }
+
+func (goFront) Detect(path, _ string) bool { return strings.HasSuffix(path, ".go") }
+
+func (goFront) Lower(src string) (*condensed.Unit, Stats, error) {
+	u, st, err := gofront.Lower(src)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	stats := Stats{LOC: st.LOC, Stmts: st.Stmts}
+	for _, d := range st.Dropped {
+		stats.Dropped = append(stats.Dropped, Diagnostic{Line: d.Line, Construct: d.Construct, Detail: d.Detail})
+	}
+	return u, stats, nil
+}

@@ -1,0 +1,120 @@
+package gofront
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fx10/internal/condensed"
+	"fx10/internal/constraints"
+	"fx10/internal/intset"
+	"fx10/internal/mhp"
+	"fx10/internal/syntax"
+
+	fxruntime "fx10/internal/runtime"
+)
+
+// TestGoProgramsCorpus is the committed-corpus acceptance check: every
+// file under testdata/goprograms lowers through the front end, the
+// static analysis runs, and the runtime observer's pairs are contained
+// in the static relation (observed ⊆ static) across several seeds.
+// CI runs this under -race.
+func TestGoProgramsCorpus(t *testing.T) {
+	dir := "../../testdata/goprograms"
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".go" {
+			continue
+		}
+		n++
+		t.Run(e.Name(), func(t *testing.T) {
+			data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			u, st, err := Lower(string(data))
+			if err != nil {
+				t.Fatalf("Lower: %v", err)
+			}
+			if c := st.Coverage(); c < 0 || c > 1 {
+				t.Fatalf("coverage out of range: %v", c)
+			}
+			p, err := condensed.Lower(u)
+			if err != nil {
+				t.Fatalf("condensed.Lower: %v", err)
+			}
+			res := mhp.MustAnalyze(p, constraints.ContextSensitive)
+
+			observed := intset.NewPairs(p.NumLabels())
+			for seed := int64(0); seed < 4; seed++ {
+				out, err := fxruntime.Run(p, nil, fxruntime.Options{
+					RecordParallel: true,
+					Seed:           seed,
+					MaxSteps:       200_000,
+				})
+				if err != nil && !errors.Is(err, fxruntime.ErrFuelExhausted) {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				observed.UnionWith(out.Observed)
+			}
+			if !observed.SubsetOf(res.M) {
+				bad := ""
+				observed.Each(func(i, j int) {
+					if bad == "" && !res.M.Has(i, j) {
+						bad = "(" + p.LabelName(syntax.Label(i)) + ", " + p.LabelName(syntax.Label(j)) + ")"
+					}
+				})
+				t.Fatalf("observed pair %s missing from static M", bad)
+			}
+		})
+	}
+	if n < 6 {
+		t.Fatalf("corpus has only %d Go files, want ≥ 6", n)
+	}
+}
+
+// TestGoProgramsCorpusExpectations pins per-file structural facts so
+// a regressing front end cannot silently trivialize the corpus.
+func TestGoProgramsCorpusExpectations(t *testing.T) {
+	dir := "../../testdata/goprograms"
+	want := map[string]struct {
+		finishes, asyncs int
+		diagnostic       string // "" = must be drop-free
+	}{
+		"fanout.go":     {finishes: 1, asyncs: 1},
+		"workerpool.go": {finishes: 1, asyncs: 1, diagnostic: "channel send"},
+		"nested.go":     {finishes: 2, asyncs: 2},
+		"errgroup.go":   {finishes: 1, asyncs: 2},
+		"mixed.go":      {finishes: 1, asyncs: 2},
+		"leaky.go":      {finishes: 0, asyncs: 2, diagnostic: "untracked goroutine"},
+	}
+	for name, w := range want {
+		t.Run(name, func(t *testing.T) {
+			data, err := os.ReadFile(filepath.Join(dir, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			u, st, err := Lower(string(data))
+			if err != nil {
+				t.Fatalf("Lower: %v", err)
+			}
+			c := u.NodeCounts()
+			if c.Of(condensed.Finish) != w.finishes || c.Of(condensed.Async) != w.asyncs {
+				t.Fatalf("finish/async = %d/%d, want %d/%d",
+					c.Of(condensed.Finish), c.Of(condensed.Async), w.finishes, w.asyncs)
+			}
+			if w.diagnostic == "" {
+				if len(st.Dropped) != 0 {
+					t.Fatalf("unexpected drops: %v", st.Dropped)
+				}
+			} else if !hasDiag(st, w.diagnostic) {
+				t.Fatalf("missing %q diagnostic: %v", w.diagnostic, st.Dropped)
+			}
+		})
+	}
+}

@@ -1,0 +1,128 @@
+package gofront
+
+import (
+	"fmt"
+	"strings"
+
+	"fx10/internal/condensed"
+)
+
+// Render pretty-prints a condensed unit as restricted-subset Go
+// source that Lower maps back to an equivalent unit: same kinds, same
+// nesting, same callees, so the lowered FX10 programs (and hence the
+// MHP reports) are bit-identical. It is the Go side of the
+// cross-front-end oracle (internal/difffuzz).
+//
+// The finish encoding is `var wgN sync.WaitGroup` … `wgN.Wait()`
+// with every async in the span spawned via `wgN.Go(func(){…})`, so
+// the re-lowering's joined check proves every spawn tracked. Asyncs
+// outside any finish render as plain `go func(){…}()`.
+//
+// Clock barriers (advance), clocked asyncs and place-switching asyncs
+// have no Go equivalent in the subset; Render returns an error for
+// units containing them.
+func Render(u *condensed.Unit) (string, error) {
+	r := &renderer{}
+	var body strings.Builder
+	for i, m := range u.Methods {
+		if i > 0 {
+			body.WriteByte('\n')
+		}
+		fmt.Fprintf(&body, "func %s() {\n", m.Name)
+		if err := r.block(&body, m.Body, 1, ""); err != nil {
+			return "", fmt.Errorf("go: render %s: %w", m.Name, err)
+		}
+		body.WriteString("}\n")
+	}
+	var out strings.Builder
+	out.WriteString("package main\n\n")
+	if r.usedSync {
+		out.WriteString("import \"sync\"\n\n")
+	}
+	out.WriteString(body.String())
+	return out.String(), nil
+}
+
+type renderer struct {
+	wgCount  int // file-unique WaitGroup names wg0, wg1, …
+	usedSync bool
+}
+
+// block renders a node list at the given indent depth; wg is the
+// innermost enclosing finish's WaitGroup name, "" outside any finish.
+func (r *renderer) block(b *strings.Builder, block []*condensed.Node, depth int, wg string) error {
+	ind := strings.Repeat("\t", depth)
+	for _, n := range block {
+		switch n.Kind {
+		case condensed.End:
+			// Implicit; never materialized.
+		case condensed.Skip:
+			b.WriteString(ind + "_ = 0\n")
+		case condensed.Return:
+			b.WriteString(ind + "return\n")
+		case condensed.Advance:
+			return fmt.Errorf("advance (clock barrier) is not expressible in the Go subset")
+		case condensed.Call:
+			fmt.Fprintf(b, "%s%s()\n", ind, n.Callee)
+		case condensed.Async:
+			if n.Clocked {
+				return fmt.Errorf("clocked async is not expressible in the Go subset")
+			}
+			if n.Place != 0 {
+				return fmt.Errorf("place-switching async is not expressible in the Go subset")
+			}
+			if wg == "" {
+				b.WriteString(ind + "go func() {\n")
+				if err := r.block(b, n.Body, depth+1, wg); err != nil {
+					return err
+				}
+				b.WriteString(ind + "}()\n")
+			} else {
+				fmt.Fprintf(b, "%s%s.Go(func() {\n", ind, wg)
+				if err := r.block(b, n.Body, depth+1, wg); err != nil {
+					return err
+				}
+				b.WriteString(ind + "})\n")
+			}
+		case condensed.Finish:
+			r.usedSync = true
+			name := fmt.Sprintf("wg%d", r.wgCount)
+			r.wgCount++
+			fmt.Fprintf(b, "%svar %s sync.WaitGroup\n", ind, name)
+			if err := r.block(b, n.Body, depth, name); err != nil {
+				return err
+			}
+			fmt.Fprintf(b, "%s%s.Wait()\n", ind, name)
+		case condensed.Loop:
+			b.WriteString(ind + "for {\n")
+			if err := r.block(b, n.Body, depth+1, wg); err != nil {
+				return err
+			}
+			b.WriteString(ind + "}\n")
+		case condensed.If:
+			b.WriteString(ind + "if true {\n")
+			if err := r.block(b, n.Body, depth+1, wg); err != nil {
+				return err
+			}
+			if n.Else != nil {
+				b.WriteString(ind + "} else {\n")
+				if err := r.block(b, n.Else, depth+1, wg); err != nil {
+					return err
+				}
+			}
+			b.WriteString(ind + "}\n")
+		case condensed.Switch:
+			b.WriteString(ind + "switch 0 {\n")
+			for i, cs := range n.Cases {
+				fmt.Fprintf(b, "%scase %d:\n", ind, i)
+				if err := r.block(b, cs, depth+1, wg); err != nil {
+					return err
+				}
+			}
+			b.WriteString(ind + "}\n")
+		default:
+			return fmt.Errorf("unknown node kind %v", n.Kind)
+		}
+	}
+	return nil
+}

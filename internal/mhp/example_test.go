@@ -5,6 +5,8 @@ import (
 	"sort"
 
 	"fx10/internal/clocks"
+	"fx10/internal/condensed"
+	"fx10/internal/frontend"
 	"fx10/internal/constraints"
 	"fx10/internal/mhp"
 	"fx10/internal/parser"
@@ -81,4 +83,53 @@ void main() {
 	// static: W ∥ D possible: false
 	// observed: W ∥ D seen: false
 	// a[2]: 2
+}
+
+// ExampleAnalyze_go lowers an ordinary Go program through the
+// front-end registry — `go` becomes async, the WaitGroup span becomes
+// finish — and analyzes the result exactly like core FX10: the
+// condensed form is language-agnostic past the boundary.
+func ExampleAnalyze_go() {
+	u, stats, err := frontend.Lower("go", "main.go", `
+package main
+
+import "sync"
+
+func work() {}
+func tally() {}
+
+func main() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	work()
+	wg.Wait()
+	tally()
+}
+`)
+	if err != nil {
+		panic(err)
+	}
+	p, err := condensed.Lower(u)
+	if err != nil {
+		panic(err)
+	}
+	r := mhp.MustAnalyze(p, constraints.ContextSensitive)
+
+	fmt.Printf("coverage: %.2f\n", stats.Coverage())
+	var pairs []string
+	r.M.Each(func(i, j int) {
+		if i <= j {
+			pairs = append(pairs, fmt.Sprintf("(%s,%s)",
+				p.LabelName(syntax.Label(i)), p.LabelName(syntax.Label(j))))
+		}
+	})
+	sort.Strings(pairs)
+	fmt.Println("pairs:", pairs)
+	// Output:
+	// coverage: 1.00
+	// pairs: [(L0,L0) (L0,L2) (L0,L4) (L2,L4)]
 }

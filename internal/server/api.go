@@ -11,8 +11,13 @@ import (
 
 // AnalyzeRequest is the body of POST /v1/analyze.
 type AnalyzeRequest struct {
-	// Source is the FX10 program text.
+	// Source is the program text.
 	Source string `json:"source"`
+	// Language names the source language: "" or "fx10" for core FX10,
+	// or any front end registered in internal/frontend ("x10", "go").
+	// Non-core sources are lowered through the front-end boundary
+	// before analysis.
+	Language string `json:"language,omitempty"`
 	// Mode is "cs" (default) or "ci".
 	Mode string `json:"mode,omitempty"`
 }
@@ -49,6 +54,9 @@ type BatchRequest struct {
 	Programs []BatchProgram `json:"programs"`
 	// Mode applies to the whole batch: "cs" (default) or "ci".
 	Mode string `json:"mode,omitempty"`
+	// Language is the batch-wide default source language (see
+	// AnalyzeRequest.Language); individual programs may override it.
+	Language string `json:"language,omitempty"`
 }
 
 // BatchProgram is one program of a batch.
@@ -56,6 +64,8 @@ type BatchProgram struct {
 	// Name is echoed back in the result slot (optional).
 	Name   string `json:"name,omitempty"`
 	Source string `json:"source"`
+	// Language overrides the batch-wide language for this program.
+	Language string `json:"language,omitempty"`
 }
 
 // BatchResponse is the body of a successful /v1/batch. The request
@@ -106,6 +116,10 @@ type DeltaRequest struct {
 	// Session names the editing session; any non-empty string.
 	Session string `json:"session"`
 	Source  string `json:"source"`
+	// Language names the source language (see AnalyzeRequest.Language)
+	// and must be consistent within a session: a delta base lowered
+	// from one front end is not a valid base for another.
+	Language string `json:"language,omitempty"`
 	// Mode must be consistent within a session ("cs" default).
 	Mode string `json:"mode,omitempty"`
 }

@@ -8,7 +8,6 @@ import (
 
 	"fx10/internal/constraints"
 	"fx10/internal/engine"
-	"fx10/internal/parser"
 	"fx10/internal/syntax"
 )
 
@@ -54,18 +53,21 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 	// Parse phase: static input errors are per-slot results, not
 	// request failures — a corpus with one broken file still gets the
-	// other N-1 reports.
+	// other N-1 reports. Each program parses under its own language
+	// (falling back to the batch-wide one), so a mixed X10/Go corpus
+	// is one batch.
 	results := make([]BatchResult, len(req.Programs))
 	parsed := make([]*syntax.Program, len(req.Programs))
 	anyValid := false
 	for i, bp := range req.Programs {
 		results[i].Name = bp.Name
-		p, err := parser.Parse(bp.Source)
-		if err == nil {
-			err = syntax.CheckClockUse(p)
+		lang := bp.Language
+		if lang == "" {
+			lang = req.Language
 		}
-		if err != nil {
-			results[i].Error = &ErrorDetail{Kind: "parse", Message: err.Error()}
+		p, _, perr := parseSourceLang(bp.Source, lang)
+		if perr != nil {
+			results[i].Error = &ErrorDetail{Kind: perr.kind, Message: perr.msg}
 			continue
 		}
 		parsed[i] = p

@@ -41,11 +41,14 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
+	"fx10/internal/condensed"
 	"fx10/internal/constraints"
 	"fx10/internal/engine"
+	"fx10/internal/frontend"
 	"fx10/internal/mhp"
 	"fx10/internal/parser"
 	"fx10/internal/syntax"
@@ -261,15 +264,9 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("unknown mode %q (want cs or ci)", req.Mode))
 		return
 	}
-	p, err := parser.Parse(req.Source)
-	if err != nil {
-		s.writeError(w, http.StatusUnprocessableEntity, "parse", err.Error())
-		return
-	}
-	if err := syntax.CheckClockUse(p); err != nil {
-		// Clock misuse (next/advance in an unclocked async) is a
-		// static input error, same class as a parse failure.
-		s.writeError(w, http.StatusUnprocessableEntity, "parse", err.Error())
+	p, _, perr := parseSourceLang(req.Source, req.Language)
+	if perr != nil {
+		s.writeHandlerError(w, perr)
 		return
 	}
 
@@ -453,15 +450,9 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("unknown mode %q (want cs or ci)", req.Mode))
 		return
 	}
-	p, err := parser.Parse(req.Source)
-	if err != nil {
-		s.writeError(w, http.StatusUnprocessableEntity, "parse", err.Error())
-		return
-	}
-	if err := syntax.CheckClockUse(p); err != nil {
-		// Clock misuse (next/advance in an unclocked async) is a
-		// static input error, same class as a parse failure.
-		s.writeError(w, http.StatusUnprocessableEntity, "parse", err.Error())
+	p, lang, perr := parseSourceLang(req.Source, req.Language)
+	if perr != nil {
+		s.writeHandlerError(w, perr)
 		return
 	}
 	if s.draining.Load() {
@@ -472,13 +463,14 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 
-	sess, created, evicted, ok := s.sessions.get(req.Session, mode)
+	sess, created, evicted, ok := s.sessions.get(req.Session, mode, lang)
 	if !ok {
-		// The session exists under the other mode: its base result is a
-		// solution of that mode's constraint system, unusable as a
-		// delta base here. Rejecting (rather than silently reusing the
-		// session's mode) keeps the request's mode authoritative.
-		s.writeError(w, http.StatusBadRequest, "bad_request", "mode differs from the session's")
+		// The session exists under another mode or front end: its base
+		// result is a solution of that configuration's constraint
+		// system, unusable as a delta base here. Rejecting (rather than
+		// silently reusing the session's) keeps the request
+		// authoritative.
+		s.writeError(w, http.StatusBadRequest, "bad_request", "mode or language differs from the session's")
 		return
 	}
 	_ = created
@@ -568,6 +560,50 @@ func (s *Server) readJSON(w http.ResponseWriter, r *http.Request, dst any) bool 
 		return false
 	}
 	return true
+}
+
+// parseSourceLang routes request source to a parser by language: ""
+// or "fx10" is core FX10 (parsed directly, preserving label names);
+// anything else resolves through the front-end registry and lowers
+// via the condensed form. The returned lang is canonical ("fx10",
+// "x10", "go", …) and keys delta sessions. An unknown language is a
+// 400 — the request itself is malformed — while source that fails to
+// parse or lower under a known language is a 422 of kind "parse",
+// exactly like bad core FX10.
+func parseSourceLang(source, language string) (*syntax.Program, string, *handlerError) {
+	lang := strings.ToLower(strings.TrimSpace(language))
+	var p *syntax.Program
+	if lang == "" || lang == "fx10" {
+		lang = "fx10"
+		var err error
+		p, err = parser.Parse(source)
+		if err != nil {
+			return nil, lang, &handlerError{status: http.StatusUnprocessableEntity, kind: "parse", msg: err.Error()}
+		}
+	} else {
+		f, err := frontend.Lookup(lang)
+		if err != nil {
+			return nil, lang, &handlerError{status: http.StatusBadRequest, kind: "bad_request", msg: err.Error()}
+		}
+		lang = f.Name()
+		u, _, err := f.Lower(source)
+		if err != nil {
+			return nil, lang, &handlerError{status: http.StatusUnprocessableEntity, kind: "parse", msg: fmt.Sprintf("%s: %v", lang, err)}
+		}
+		p, err = condensed.Lower(u)
+		if err != nil {
+			// The source parsed but describes a malformed unit
+			// (duplicate methods, no entry point): still the client's
+			// input, still 422.
+			return nil, lang, &handlerError{status: http.StatusUnprocessableEntity, kind: "parse", msg: err.Error()}
+		}
+	}
+	if err := syntax.CheckClockUse(p); err != nil {
+		// Clock misuse (next/advance in an unclocked async) is a
+		// static input error, same class as a parse failure.
+		return nil, lang, &handlerError{status: http.StatusUnprocessableEntity, kind: "parse", msg: err.Error()}
+	}
+	return p, lang, nil
 }
 
 func parseModeStr(s string) (constraints.Mode, bool) {

@@ -23,6 +23,7 @@ import (
 type session struct {
 	mu   sync.Mutex
 	mode constraints.Mode
+	lang string         // canonical front-end name ("fx10", "x10", "go")
 	base *engine.Result // nil until the first analyze completes
 }
 
@@ -52,26 +53,29 @@ func newSessionStore(capacity int) *sessionStore {
 	}
 }
 
-// get returns the session for id, creating it with the given mode on
-// first use. A session is keyed by (id, mode) in effect: requesting an
-// existing id under a different mode returns ok=false — the base
-// result held by the session was solved under its mode, so serving it
-// to the other mode would mix valuations of two different analyses.
+// get returns the session for id, creating it with the given mode and
+// language on first use. A session is keyed by (id, mode, lang) in
+// effect: requesting an existing id under a different mode or front
+// end returns ok=false — the base result held by the session was
+// solved for its configuration's lowered program, so serving it to a
+// request of another configuration would mix two different analyses
+// (a delta against a base lowered by another front end is undefined).
 // created reports a fresh session; evicted is the number of sessions
-// dropped to make room. The mode check happens under the store lock,
-// so a caller never observes a session whose mode it did not agree to.
-func (st *sessionStore) get(id string, mode constraints.Mode) (s *session, created bool, evicted int, ok bool) {
+// dropped to make room. The checks happen under the store lock, so a
+// caller never observes a session whose configuration it did not
+// agree to.
+func (st *sessionStore) get(id string, mode constraints.Mode, lang string) (s *session, created bool, evicted int, ok bool) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if e, exists := st.m[id]; exists {
 		s = e.Value.(sessionEntry).s
-		if s.mode != mode {
+		if s.mode != mode || s.lang != lang {
 			return nil, false, 0, false
 		}
 		st.order.MoveToFront(e)
 		return s, false, 0, true
 	}
-	s = &session{mode: mode}
+	s = &session{mode: mode, lang: lang}
 	st.m[id] = st.order.PushFront(sessionEntry{id: id, s: s})
 	for len(st.m) > st.cap {
 		oldest := st.order.Back()

@@ -80,11 +80,11 @@ func TestDeltaSessionSameModeReuses(t *testing.T) {
 func TestSessionStoreCapClamped(t *testing.T) {
 	for _, capacity := range []int{0, -5} {
 		st := newSessionStore(capacity)
-		s1, created, _, ok := st.get("a", constraints.ContextSensitive)
+		s1, created, _, ok := st.get("a", constraints.ContextSensitive, "fx10")
 		if !ok || !created || s1 == nil {
 			t.Fatalf("cap %d: insert failed", capacity)
 		}
-		s2, created, _, ok := st.get("a", constraints.ContextSensitive)
+		s2, created, _, ok := st.get("a", constraints.ContextSensitive, "fx10")
 		if !ok || created || s2 != s1 {
 			t.Fatalf("cap %d: just-inserted session evicted", capacity)
 		}

@@ -1,6 +1,8 @@
 package x10
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 
 	"fx10/internal/condensed"
@@ -23,6 +25,19 @@ func FuzzParse(f *testing.F) {
 	}
 	for _, s := range seeds {
 		f.Add(s)
+	}
+	// The tricky corpus (literals and comments full of code-looking
+	// text) doubles as fuzz seed material.
+	tricky, err := filepath.Glob(filepath.Join(trickyDir, "*.x10"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, path := range tricky {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(data))
 	}
 	f.Fuzz(func(t *testing.T, src string) {
 		unit, _, err := Parse(src)

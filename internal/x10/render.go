@@ -1,0 +1,88 @@
+package x10
+
+import (
+	"fmt"
+	"strings"
+
+	"fx10/internal/condensed"
+)
+
+// Render pretty-prints a condensed unit as X10-subset source that
+// Parse lowers back to an equivalent unit: same kinds, same nesting,
+// same callees, so the lowered FX10 programs (and hence the MHP
+// reports) are bit-identical. It is the X10 side of the
+// cross-front-end oracle (internal/difffuzz): a unit rendered here
+// and by gofront.Render must analyze identically through both front
+// ends.
+//
+// Loop guards and if/switch conditions are rendered as the constant 1
+// — the front end skips them as balanced text and the analysis is
+// value-insensitive, so any expression would do.
+func Render(u *condensed.Unit) string {
+	var b strings.Builder
+	for i, m := range u.Methods {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "def %s() {\n", m.Name)
+		renderBlock(&b, m.Body, 1)
+		b.WriteString("}\n")
+	}
+	return b.String()
+}
+
+func renderBlock(b *strings.Builder, block []*condensed.Node, depth int) {
+	ind := strings.Repeat("  ", depth)
+	for _, n := range block {
+		switch n.Kind {
+		case condensed.End:
+			// Implicit; never materialized.
+		case condensed.Skip:
+			b.WriteString(ind + "skip;\n")
+		case condensed.Return:
+			b.WriteString(ind + "return;\n")
+		case condensed.Advance:
+			b.WriteString(ind + "next;\n")
+		case condensed.Call:
+			fmt.Fprintf(b, "%s%s();\n", ind, n.Callee)
+		case condensed.Async:
+			kw := "async"
+			if n.Clocked {
+				kw = "clocked async"
+			}
+			if n.Place != 0 {
+				kw += " (1)" // the concrete place is value-level; any clause re-parses as Place 1
+			}
+			b.WriteString(ind + kw + " {\n")
+			renderBlock(b, n.Body, depth+1)
+			b.WriteString(ind + "}\n")
+		case condensed.Finish:
+			b.WriteString(ind + "finish {\n")
+			renderBlock(b, n.Body, depth+1)
+			b.WriteString(ind + "}\n")
+		case condensed.Loop:
+			b.WriteString(ind + "while (1) {\n")
+			renderBlock(b, n.Body, depth+1)
+			b.WriteString(ind + "}\n")
+		case condensed.If:
+			b.WriteString(ind + "if (1) {\n")
+			renderBlock(b, n.Body, depth+1)
+			b.WriteString(ind + "}")
+			if n.Else != nil {
+				b.WriteString(" else {\n")
+				renderBlock(b, n.Else, depth+1)
+				b.WriteString(ind + "}")
+			}
+			b.WriteByte('\n')
+		case condensed.Switch:
+			b.WriteString(ind + "switch (1) {\n")
+			for i, cs := range n.Cases {
+				fmt.Fprintf(b, "%s  case %d:\n", ind, i)
+				renderBlock(b, cs, depth+2)
+			}
+			b.WriteString(ind + "}\n")
+		default:
+			panic(fmt.Sprintf("x10: render: unknown node kind %v", n.Kind))
+		}
+	}
+}

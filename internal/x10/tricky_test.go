@@ -1,0 +1,118 @@
+package x10
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fx10/internal/condensed"
+)
+
+// trickyDir is the corpus of sources whose literals and comments
+// contain code-looking text ("async {", unbalanced braces, semicolons,
+// colons). It is shared with the front-end contract tests
+// (internal/frontend) and seeds FuzzParse.
+const trickyDir = "../../testdata/tricky"
+
+// TestTrickyCorpus asserts structural expectations per corpus file:
+// the skipper must neither lose real constructs nor hallucinate ones
+// out of string/char/comment contents.
+func TestTrickyCorpus(t *testing.T) {
+	want := map[string]struct {
+		asyncs, finishes, loops, ifs, switches int
+	}{
+		"strings.x10":  {asyncs: 1, ifs: 1},
+		"comments.x10": {loops: 1, ifs: 1},
+		"cases.x10":    {switches: 1},
+		"escapes.x10":  {asyncs: 1, finishes: 1},
+	}
+	for name, w := range want {
+		t.Run(name, func(t *testing.T) {
+			data, err := os.ReadFile(filepath.Join(trickyDir, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			u, _, err := Parse(string(data))
+			if err != nil {
+				t.Fatalf("Parse: %v", err)
+			}
+			c := u.NodeCounts()
+			got := [5]int{c.Of(condensed.Async), c.Of(condensed.Finish), c.Of(condensed.Loop), c.Of(condensed.If), c.Of(condensed.Switch)}
+			if got != [5]int{w.asyncs, w.finishes, w.loops, w.ifs, w.switches} {
+				t.Fatalf("async/finish/loop/if/switch = %v, want %v", got,
+					[5]int{w.asyncs, w.finishes, w.loops, w.ifs, w.switches})
+			}
+			ResolveCalls(u)
+			if _, err := condensed.Lower(u); err != nil {
+				t.Fatalf("Lower: %v", err)
+			}
+		})
+	}
+}
+
+// TestTrickyCaseLabels pins the case-label scanner details: the label
+// text may contain ':' inside literals, and the first real ':' past
+// them terminates the label.
+func TestTrickyCaseLabels(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join(trickyDir, "cases.x10"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, _, err := Parse(string(data))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	var sw *condensed.Node
+	for _, n := range u.Methods[0].Body {
+		if n.Kind == condensed.Switch {
+			sw = n
+		}
+	}
+	if sw == nil {
+		t.Fatal("no switch lowered")
+	}
+	// case ':' / case '}' / case "a:b;{" / default = 4 cases.
+	if len(sw.Cases) != 4 {
+		t.Fatalf("cases = %d, want 4", len(sw.Cases))
+	}
+	// The first three cases carry a call each (f, g, f); default only a
+	// break (skip).
+	for i, callee := range []string{"f", "g", "f"} {
+		found := false
+		for _, n := range sw.Cases[i] {
+			if n.Kind == condensed.Call && n.Callee == callee {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("case %d lost its call to %s: %+v", i, callee, sw.Cases[i])
+		}
+	}
+}
+
+// TestTrickyInline covers skipper edge cases too small for corpus
+// files, including tolerated unterminated literals at end of line.
+func TestTrickyInline(t *testing.T) {
+	cases := []struct {
+		name, src string
+		asyncs    int
+	}{
+		{"string arg with async", `void main() { f("async { }"); } void f() { return; }`, 0},
+		{"char brace arg", `void main() { f('{', '}'); } void f() { return; }`, 0},
+		{"escaped quote in string", `void main() { f("\""); } void f() { return; }`, 0},
+		{"comment in condition", `void main() { if (x /* { */) { async { f(); } } } void f() { return; }`, 1},
+		{"line comment mid-block", "void main() {\n  // async {\n  f();\n} void f() { return; }", 0},
+		{"semicolon in string stmt", `void main() { f("a;b"); async { f(); } } void f() { return; }`, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			u, _, err := Parse(tc.src)
+			if err != nil {
+				t.Fatalf("Parse: %v", err)
+			}
+			if got := u.NodeCounts().Of(condensed.Async); got != tc.asyncs {
+				t.Fatalf("asyncs = %d, want %d", got, tc.asyncs)
+			}
+		})
+	}
+}

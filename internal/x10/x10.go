@@ -171,6 +171,49 @@ func (p *parser) expectByte(c byte) error {
 	return nil
 }
 
+// skipNonCode consumes a string literal, character literal, or
+// comment at the cursor and reports whether it consumed anything.
+// The expression skippers call this first so delimiters inside
+// `"..."`, `'...'`, `// ...` and `/* ... */` never perturb their
+// depth counting — `print("(");` is one statement, not an
+// unterminated one.
+func (p *parser) skipNonCode() bool {
+	c := p.peek()
+	switch {
+	case c == '"' || c == '\'':
+		quote := p.advance()
+		for !p.eof() {
+			c := p.advance()
+			if c == '\\' && !p.eof() {
+				p.advance() // escaped char, including \" and \'
+				continue
+			}
+			if c == quote || c == '\n' {
+				break // closed, or tolerate an unterminated literal at EOL
+			}
+		}
+		return true
+	case c == '/' && p.pos+1 < len(p.src) && p.src[p.pos+1] == '/':
+		for !p.eof() && p.peek() != '\n' {
+			p.advance()
+		}
+		return true
+	case c == '/' && p.pos+1 < len(p.src) && p.src[p.pos+1] == '*':
+		p.advance()
+		p.advance()
+		for !p.eof() {
+			if p.peek() == '*' && p.pos+1 < len(p.src) && p.src[p.pos+1] == '/' {
+				p.advance()
+				p.advance()
+				return true
+			}
+			p.advance()
+		}
+		return true
+	}
+	return false
+}
+
 // skipBalanced consumes from an opening delimiter to its match.
 func (p *parser) skipBalanced(open, close byte) error {
 	if err := p.expectByte(open); err != nil {
@@ -178,6 +221,9 @@ func (p *parser) skipBalanced(open, close byte) error {
 	}
 	depth := 1
 	for !p.eof() {
+		if p.skipNonCode() {
+			continue
+		}
 		c := p.advance()
 		switch c {
 		case open:
@@ -196,6 +242,9 @@ func (p *parser) skipBalanced(open, close byte) error {
 func (p *parser) skipToSemi() error {
 	depth := 0
 	for !p.eof() {
+		if p.skipNonCode() {
+			continue
+		}
 		c := p.advance()
 		switch c {
 		case '(', '[', '{':
@@ -277,6 +326,9 @@ func (p *parser) trySkipField() (bool, error) {
 	save, line := p.pos, p.line
 	depth := 0
 	for !p.eof() {
+		if p.skipNonCode() {
+			continue
+		}
 		c := p.advance()
 		switch c {
 		case '[', '(':
@@ -561,6 +613,9 @@ func (p *parser) parseSwitchBody() ([]*condensed.Node, error) {
 			flush()
 			p.word()
 			for !p.eof() && p.peek() != ':' {
+				if p.skipNonCode() {
+					continue
+				}
 				p.advance()
 			}
 			if err := p.expectByte(':'); err != nil {
@@ -596,18 +651,25 @@ func (p *parser) parseSwitchBody() ([]*condensed.Node, error) {
 // unit into Skip nodes (library calls condense to skips, as in the
 // paper's implementation), and returns the number rewritten.
 func ResolveCalls(u *condensed.Unit) int {
+	return len(ResolveCallsNamed(u))
+}
+
+// ResolveCallsNamed is ResolveCalls, but returns the callee name of
+// each rewritten call (in source order, duplicates preserved) so the
+// front-end boundary can report them as lowering diagnostics.
+func ResolveCallsNamed(u *condensed.Unit) []string {
 	defined := map[string]bool{}
 	for _, m := range u.Methods {
 		defined[m.Name] = true
 	}
-	n := 0
+	var names []string
 	var walk func(block []*condensed.Node)
 	walk = func(block []*condensed.Node) {
 		for _, nd := range block {
 			if nd.Kind == condensed.Call && !defined[nd.Callee] {
+				names = append(names, nd.Callee)
 				nd.Kind = condensed.Skip
 				nd.Callee = ""
-				n++
 			}
 			walk(nd.Body)
 			walk(nd.Else)
@@ -619,5 +681,5 @@ func ResolveCalls(u *condensed.Unit) int {
 	for _, m := range u.Methods {
 		walk(m.Body)
 	}
-	return n
+	return names
 }

@@ -1,0 +1,18 @@
+// errgroup fan-out: g.Go tracks each task by construction, so the
+// span is a finish even without explicit Add/Done bookkeeping.
+package main
+
+import "golang.org/x/sync/errgroup"
+
+func fetchA() {}
+func fetchB() {}
+
+func main() {
+	var g errgroup.Group
+	g.Go(func() {
+		fetchA()
+	})
+	g.Go(fetchB)
+	g.Wait()
+	fetchA()
+}

@@ -1,0 +1,20 @@
+// Fan-out/fan-in: N workers spawned in a loop, all registered with
+// the WaitGroup — the span lowers to a finish over a loop async.
+package main
+
+import "sync"
+
+func work() {}
+
+func main() {
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+	work()
+}

@@ -1,0 +1,25 @@
+// Nested spans: an inner WaitGroup scope inside an outer goroutine —
+// finish inside async inside finish.
+package main
+
+import "sync"
+
+func stage1() {}
+func stage2() {}
+
+func main() {
+	var outer sync.WaitGroup
+	outer.Add(1)
+	go func() {
+		defer outer.Done()
+		var inner sync.WaitGroup
+		inner.Add(1)
+		go func() {
+			defer inner.Done()
+			stage1()
+		}()
+		inner.Wait()
+		stage2()
+	}()
+	outer.Wait()
+}

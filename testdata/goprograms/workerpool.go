@@ -1,0 +1,26 @@
+// Worker pool: channel operations are dropped conservatively (skips
+// with diagnostics); the spawn/join structure is still captured.
+package main
+
+import "sync"
+
+func process() {}
+
+func main() {
+	jobs := make(chan int, 4)
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range jobs {
+				process()
+			}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+}

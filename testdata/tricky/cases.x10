@@ -1,0 +1,23 @@
+// Case labels whose literal contains a colon, brace or semicolon:
+// the label scanner must find the real ':' terminator.
+public class C {
+  static void main(String[] args) {
+    switch (tag) {
+      case ':':
+        f();
+        break;
+      case '}':
+        g();
+        break;
+      case "a:b;{": {
+        f();
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  static void f() { return; }
+  static void g() { return; }
+}

@@ -1,0 +1,17 @@
+// Comments inside skipped regions: conditions, arguments, statements.
+public class C {
+  static void main(String[] args) {
+    // a line comment with } and { and ; and async {
+    /* a block comment
+       with finish { async { } }
+       spanning lines */
+    while (x /* } */ > 0 /* ( */) {
+      work(); // trailing } brace
+    }
+    if (flag /* ; */) {
+      work();
+    }
+  }
+
+  static void work() { return; }
+}

@@ -1,0 +1,16 @@
+// Escape sequences inside literals: \" does not close a string,
+// '\'' is a quote char, '\\' a backslash.
+public class C {
+  static char quote = '\'';
+  static char backslash = '\\';
+  static String esc = "quote \" backslash \\ brace } paren ) semi ;";
+
+  static void main(String[] args) {
+    f('\\', "tail \" }");
+    finish {
+      async { f("{'\"'}"); }
+    }
+  }
+
+  static void f() { return; }
+}

@@ -1,0 +1,19 @@
+// Code-looking text inside Go strings: the front end must lower the
+// one real spawn and nothing from the literals.
+package main
+
+import "sync"
+
+const banner = "go func() { wg.Wait() } // not code"
+
+func work() {}
+
+func main() {
+	msg := "var wg sync.WaitGroup; wg.Wait()"
+	_ = msg
+	var wg sync.WaitGroup
+	wg.Go(func() {
+		work()
+	})
+	wg.Wait()
+}

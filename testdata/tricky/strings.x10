@@ -1,0 +1,17 @@
+// Strings and char literals containing code-looking text must not
+// confuse the skipper: no async/finish below is real except the one
+// in main.
+public class C {
+  static String msg = "finish { async { bogus(); } } ; // not code";
+  static char open = '{';
+  static char close = '}';
+
+  static void main(String[] args) {
+    if (eq(msg, "}{;()")) {
+      helper("a;b", '(', "deep } nest {");
+    }
+    async { helper("async { inside string }"); }
+  }
+
+  static void helper() { return; }
+}
