@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: verify build vet test race bench benchsmoke profile figures solverbench incrementalbench clockedbench parallelbench serverbench serversmoke storebench store-smoke fuzz fuzz-smoke clocked-smoke parallel-smoke gofrontbench gofront-smoke
+.PHONY: verify build vet test race bench benchsmoke profile figures solverbench incrementalbench clockedbench parallelbench serverbench serversmoke storebench store-smoke fleetbench fleet-smoke fuzz fuzz-smoke clocked-smoke parallel-smoke shard-smoke gofrontbench gofront-smoke
 
 verify: build vet race
 
@@ -81,6 +81,23 @@ storebench:
 # byte-identical reports and warm summary hits in /metrics.
 store-smoke:
 	./scripts/store_smoke.sh
+
+fleetbench:
+	$(GO) run ./cmd/mhpbench -figure fleet -benchjson BENCH_fleet.json
+
+# fleet-smoke is the CI gate for the fleet: the in-process fleet
+# scenario (3 replicas + router + mid-load kill, -race), then the same
+# topology as real daemons on one shared store behind `fx10d route`,
+# with a replica SIGTERMed mid-burst — asserting zero failures, zero
+# cross-backend divergences, reroutes counted and warm shared-store
+# hits.
+fleet-smoke:
+	./scripts/fleet_smoke.sh
+
+# shard-smoke is the CI gate for the sharded solver: bit-equality with
+# sequential topo across shard/worker configurations under -race.
+shard-smoke:
+	$(GO) test -race -run 'TestShardEqualsTopo' -count=1 ./internal/shard
 
 figures:
 	$(GO) run ./cmd/mhpbench -figure all

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"fx10/internal/condensed"
+	"fx10/internal/fleet"
 	"fx10/internal/gofront"
 	"fx10/internal/progen"
 	"fx10/internal/server"
@@ -35,6 +36,7 @@ import (
 
 type lgConfig struct {
 	addr        string
+	backends    string // comma-separated replica URLs (fleet mode)
 	concurrency int
 	duration    time.Duration
 	seed        int64
@@ -42,6 +44,7 @@ type lgConfig struct {
 	mode        string
 	scenario    string
 	store       string // selfserve: summary store directory
+	storeShared bool   // selfserve: open the store multi-process
 	jsonOut     bool
 	strict      bool
 	workers     int // selfserve only
@@ -52,15 +55,16 @@ func runLoadgen(args []string) error {
 	fs := flag.NewFlagSet("fx10d loadgen", flag.ExitOnError)
 	var cfg lgConfig
 	fs.StringVar(&cfg.addr, "addr", "", "target server (host:port); empty starts one in-process")
+	fs.StringVar(&cfg.backends, "backends", "", "comma-separated replica URLs; routes ops by hash affinity (query/analyze/delta) and round-robin (rest)")
 	fs.IntVar(&cfg.concurrency, "c", 8, "concurrent clients")
 	fs.DurationVar(&cfg.duration, "duration", 10*time.Second, "traffic duration (after warmup)")
 	fs.Int64Var(&cfg.seed, "seed", 1, "rng seed (traffic is deterministic per seed)")
 	fs.StringVar(&cfg.mix, "mix", "query=8,analyze=3,delta=1,goanalyze=1", "weighted op mix (ops: query, analyze, goanalyze, delta, batch)")
 	fs.StringVar(&cfg.mode, "mode", "cs", "analysis mode (cs or ci)")
-	fs.StringVar(&cfg.scenario, "scenario", "", `named scenario instead of mixed traffic ("restart")`)
+	fs.StringVar(&cfg.scenario, "scenario", "", `named scenario instead of mixed traffic ("restart" or "fleet")`)
 	fs.StringVar(&cfg.store, "store", "", "selfserve: persistent summary store directory")
 	fs.BoolVar(&cfg.jsonOut, "json", false, "emit the report as JSON on stdout")
-	fs.BoolVar(&cfg.strict, "strict", false, "exit non-zero on transport errors or any status outside 2xx/429 (CI smoke)")
+	fs.BoolVar(&cfg.strict, "strict", false, "exit non-zero on transport errors, any status outside 2xx/429, or cross-backend report divergence (CI smoke)")
 	fs.IntVar(&cfg.workers, "workers", 0, "selfserve: solve workers")
 	fs.IntVar(&cfg.queue, "queue", 0, "selfserve: admission queue depth")
 	if err := fs.Parse(args); err != nil {
@@ -75,28 +79,68 @@ func runLoadgen(args []string) error {
 		switch cfg.scenario {
 		case "restart":
 			return runRestartScenario(cfg)
+		case "fleet":
+			return runFleetScenario(cfg)
 		default:
-			return fmt.Errorf("unknown scenario %q (want restart)", cfg.scenario)
+			return fmt.Errorf("unknown scenario %q (want restart or fleet)", cfg.scenario)
+		}
+	}
+
+	// Fleet mode: a -backends list replaces the single target. Ops
+	// with a content key route by the same consistent-hash ring the
+	// fx10d router uses (so replica caches stay hot); the rest
+	// round-robin. bases[w%len] is each worker's round-robin start.
+	var ring *fleet.Ring
+	var bases []string
+	if cfg.backends != "" {
+		if cfg.addr != "" {
+			return fmt.Errorf("-addr and -backends are mutually exclusive")
+		}
+		for _, b := range strings.Split(cfg.backends, ",") {
+			if b = strings.TrimSpace(b); b != "" {
+				if !strings.HasPrefix(b, "http") {
+					b = "http://" + b
+				}
+				bases = append(bases, b)
+			}
+		}
+		ring, err = fleet.NewRing(bases, 0)
+		if err != nil {
+			return err
 		}
 	}
 
 	base := cfg.addr
 	var shutdown func()
-	if base == "" {
+	if base == "" && ring == nil {
 		base, shutdown, err = selfserve(cfg)
 		if err != nil {
 			return err
 		}
 		defer shutdown()
 	}
-	if !strings.HasPrefix(base, "http") {
+	if base != "" && !strings.HasPrefix(base, "http") {
 		base = "http://" + base
+	}
+	// pick resolves the backend for one op: the ring owner for keyed
+	// ops, round-robin otherwise, the single target when no fleet.
+	pick := func(key string, rr *int) string {
+		if ring == nil {
+			return base
+		}
+		if key != "" {
+			return ring.Lookup(key)
+		}
+		*rr++
+		return bases[*rr%len(bases)]
 	}
 
 	client := &http.Client{Timeout: 30 * time.Second}
 
 	// Warmup: analyze every workload once so /v1/query has something
-	// to hit and the engine cache is hot.
+	// to hit and the engine cache is hot. In fleet mode every backend
+	// is warmed, and the reports are cross-checked: replicas must be
+	// byte-identical — divergence is an error under -strict.
 	type target struct {
 		name   string
 		hash   string
@@ -105,15 +149,36 @@ func runLoadgen(args []string) error {
 		labels []string
 	}
 	var targets []target
+	var divergences int64
+	warmupBases := []string{base}
+	if ring != nil {
+		warmupBases = bases
+	}
 	for _, b := range workloads.All() {
 		p := b.Program()
 		src := syntax.Print(p)
-		hash, status, err := postAnalyze(client, base, src, cfg.mode)
-		if err != nil {
-			return fmt.Errorf("warmup %s: %w", b.Name, err)
-		}
-		if status != http.StatusOK {
-			return fmt.Errorf("warmup %s: status %d", b.Name, status)
+		var hash string
+		var firstReport []byte
+		for _, wb := range warmupBases {
+			var resp server.AnalyzeResponse
+			status, err := post(client, wb+"/v1/analyze", server.AnalyzeRequest{Source: src, Mode: cfg.mode}, &resp)
+			if err != nil {
+				return fmt.Errorf("warmup %s @ %s: %w", b.Name, wb, err)
+			}
+			if status != http.StatusOK {
+				return fmt.Errorf("warmup %s @ %s: status %d", b.Name, wb, status)
+			}
+			hash = resp.ProgramHash
+			rep, err := json.Marshal(resp.Report)
+			if err != nil {
+				return err
+			}
+			if firstReport == nil {
+				firstReport = rep
+			} else if !bytes.Equal(firstReport, rep) {
+				divergences++
+				fmt.Fprintf(os.Stderr, "loadgen: %s: report from %s diverges from %s\n", b.Name, wb, warmupBases[0])
+			}
 		}
 		names := make([]string, len(p.Labels))
 		for l := range p.Labels {
@@ -151,6 +216,7 @@ func runLoadgen(args []string) error {
 		go func(w int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(cfg.seed + int64(w)))
+			rr := w // round-robin cursor, staggered per worker
 			// Each client owns one delta session rooted at one
 			// workload; edits accumulate across the run.
 			sessProg := progen.Clone(targets[w%len(targets)].prog)
@@ -165,19 +231,21 @@ func runLoadgen(args []string) error {
 				case "query":
 					a := t.labels[rng.Intn(len(t.labels))]
 					b := t.labels[rng.Intn(len(t.labels))]
-					status, err = post(client, base+"/v1/query", server.QueryRequest{
+					status, err = post(client, pick("p|"+t.hash+"|"+cfg.mode, &rr)+"/v1/query", server.QueryRequest{
 						ProgramHash: t.hash, Mode: cfg.mode, A: a, B: b,
 					}, nil)
 				case "analyze":
-					_, status, err = postAnalyze(client, base, t.source, cfg.mode)
+					_, status, err = postAnalyze(client, pick("p|"+t.hash+"|"+cfg.mode, &rr), t.source, cfg.mode)
 				case "goanalyze":
-					status, err = post(client, base+"/v1/analyze", server.AnalyzeRequest{
+					status, err = post(client, pick("", &rr)+"/v1/analyze", server.AnalyzeRequest{
 						Source: goSources[rng.Intn(len(goSources))], Mode: cfg.mode, Language: "go",
 					}, nil)
 				case "delta":
+					// Sessions are per-daemon state: sticky routing by
+					// session identity, exactly like the fleet router.
 					mi := rng.Intn(len(sessProg.Methods))
 					sessProg = progen.MutateMethod(sessProg, mi, rng.Int63())
-					status, err = post(client, base+"/v1/delta", server.DeltaRequest{
+					status, err = post(client, pick("s|"+sessID, &rr)+"/v1/delta", server.DeltaRequest{
 						Session: sessID, Source: syntax.Print(sessProg), Mode: cfg.mode,
 					}, nil)
 				case "batch":
@@ -189,7 +257,7 @@ func runLoadgen(args []string) error {
 						bt := targets[rng.Intn(len(targets))]
 						req.Programs = append(req.Programs, server.BatchProgram{Name: bt.name, Source: bt.source})
 					}
-					status, err = post(client, base+"/v1/batch", req, nil)
+					status, err = post(client, pick("", &rr)+"/v1/batch", req, nil)
 				}
 				if err != nil {
 					errorsN.Add(1)
@@ -212,6 +280,9 @@ func runLoadgen(args []string) error {
 		printReport(os.Stdout, rep)
 	}
 	if cfg.strict {
+		if divergences > 0 {
+			return fmt.Errorf("strict: %d cross-backend report divergences", divergences)
+		}
 		if rep.Errors > 0 {
 			return fmt.Errorf("strict: %d transport errors", rep.Errors)
 		}
@@ -249,9 +320,10 @@ func renderGoSources(seed int64, n int) ([]string, error) {
 // selfserve starts an in-process server on a loopback port.
 func selfserve(cfg lgConfig) (addr string, shutdown func(), err error) {
 	srv, err := server.New(server.Config{
-		Workers:          cfg.workers,
-		QueueDepth:       cfg.queue,
-		SummaryStorePath: cfg.store,
+		Workers:            cfg.workers,
+		QueueDepth:         cfg.queue,
+		SummaryStorePath:   cfg.store,
+		SummaryStoreShared: cfg.storeShared,
 	})
 	if err != nil {
 		return "", nil, err

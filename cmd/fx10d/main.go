@@ -6,9 +6,10 @@
 // Usage:
 //
 //	fx10d [flags]                   serve (default)
+//	fx10d route [flags]             fleet front door: route to replicas
 //	fx10d loadgen [flags]           drive a server and report latency
 //
-// See DESIGN.md §8 for the API.
+// See DESIGN.md §8 for the API and §13 for fleet routing.
 package main
 
 import (
@@ -35,6 +36,13 @@ func main() {
 		}
 		return
 	}
+	if len(args) > 0 && args[0] == "route" {
+		if err := runRoute(args[1:]); err != nil {
+			fmt.Fprintln(os.Stderr, "fx10d route:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := runServe(args); err != nil {
 		fmt.Fprintln(os.Stderr, "fx10d:", err)
 		os.Exit(1)
@@ -51,6 +59,7 @@ func runServe(args []string) error {
 		solverW    = fs.Int("solver-workers", 0, "pool width inside parallel strategies like ptopo (0 = strategy default)")
 		cache      = fs.Int("cache", 0, "program cache entries (0 = default)")
 		sumStore   = fs.String("summary-store", "", "directory for the persistent method-summary store (empty = disabled)")
+		sumShared  = fs.Bool("summary-store-shared", false, "open the summary store in multi-process mode (fleet replicas sharing one directory)")
 		solveTO    = fs.Duration("solve-timeout", 30*time.Second, "per-solve ceiling")
 		reqTO      = fs.Duration("request-timeout", 10*time.Second, "per-request deadline")
 		drainGrace = fs.Duration("drain-grace", 15*time.Second, "max time to finish in-flight requests on shutdown")
@@ -60,14 +69,15 @@ func runServe(args []string) error {
 	}
 
 	srv, err := server.New(server.Config{
-		Workers:          *workers,
-		QueueDepth:       *queue,
-		Strategy:         *strategy,
-		SolverWorkers:    *solverW,
-		CacheSize:        *cache,
-		SummaryStorePath: *sumStore,
-		SolveTimeout:     *solveTO,
-		RequestTimeout:   *reqTO,
+		Workers:            *workers,
+		QueueDepth:         *queue,
+		Strategy:           *strategy,
+		SolverWorkers:      *solverW,
+		CacheSize:          *cache,
+		SummaryStorePath:   *sumStore,
+		SummaryStoreShared: *sumShared,
+		SolveTimeout:       *solveTO,
+		RequestTimeout:     *reqTO,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"fx10/internal/fleet"
+)
+
+// runRoute serves the fleet front door: a consistent-hash router over
+// fx10d replicas (internal/fleet), with its own /healthz, /metrics and
+// /debug/vars, and the same signal-driven graceful shutdown as serve.
+func runRoute(args []string) error {
+	fs := flag.NewFlagSet("fx10d route", flag.ExitOnError)
+	var (
+		addr     = fs.String("addr", ":8709", "listen address")
+		backends = fs.String("backends", "", "comma-separated fx10d replica base URLs (required)")
+		vnodes   = fs.Int("vnodes", 0, "virtual nodes per backend (0 = default)")
+		healthEv = fs.Duration("health-every", time.Second, "health-sweep period")
+		healthTO = fs.Duration("health-timeout", time.Second, "per-probe timeout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var list []string
+	for _, b := range strings.Split(*backends, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			list = append(list, b)
+		}
+	}
+	if len(list) == 0 {
+		return fmt.Errorf("-backends is required (comma-separated replica URLs)")
+	}
+
+	rt, err := fleet.NewRouter(fleet.RouterConfig{
+		Backends:      list,
+		Vnodes:        *vnodes,
+		HealthEvery:   *healthEv,
+		HealthTimeout: *healthTO,
+	})
+	if err != nil {
+		return err
+	}
+	expvar.Publish("fx10route", rt.Metrics().Expvar())
+
+	mux := http.NewServeMux()
+	mux.Handle("/", rt.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	httpSrv := &http.Server{Addr: *addr, Handler: mux}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "fx10d route: listening on %s, %d backends\n", *addr, len(list))
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		rt.Close()
+		return err
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "fx10d route: %v, shutting down\n", sig)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	err = httpSrv.Shutdown(ctx)
+	rt.Close()
+	if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "fx10d route: stopped")
+	return nil
+}

@@ -50,7 +50,7 @@ import (
 var figures = []string{
 	"examples", "5", "6", "7", "8", "9",
 	"precision", "scaling", "corpus",
-	"solver", "incremental", "clocked", "parallel", "store", "gofront",
+	"solver", "incremental", "clocked", "parallel", "store", "gofront", "fleet",
 }
 
 // allFigures is what -figure all selects: the paper regeneration
@@ -239,6 +239,20 @@ func run(figure string, parallel int, strategy, benchjson string, clockedN int, 
 		fmt.Print(experiments.FormatStoreBench(bench))
 		if benchjson != "" {
 			if err := experiments.WriteStoreBenchJSON(bench, benchjson); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", benchjson)
+		}
+	}
+	if want["fleet"] {
+		section("Fleet: routed throughput at 1/2/4 replicas + shard vs topo solve cost")
+		bench, err := experiments.RunFleetBench(3)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatFleetBench(bench))
+		if benchjson != "" {
+			if err := experiments.WriteFleetBenchJSON(bench, benchjson); err != nil {
 				return err
 			}
 			fmt.Printf("wrote %s\n", benchjson)

@@ -11,10 +11,13 @@
 // conservatively with diagnostics, so `fx10 mhp main.go` analyzes
 // ordinary Go), synthetic reconstructions of the paper's 13
 // benchmarks, and harnesses regenerating Figures 5–9. The analysis
-// runs through a unified engine with five pluggable solver strategies
+// runs through a unified engine with six pluggable solver strategies
 // (including ptopo, a parallel topological solver that schedules SCC
 // components of the condensed constraint graph onto a bounded worker
-// pool, bit-identical to its sequential counterpart), a two-tier
+// pool, and shard, a place-sharded solver that partitions the
+// constraint system by method shard and solves shards concurrently
+// with a deterministic merge loop — both bit-identical to their
+// sequential counterparts), a two-tier
 // content-hash cache (whole-program results and cross-program method
 // summaries, the latter optionally backed by a crash-safe persistent
 // store (internal/sumstore) so summaries survive restarts and are
@@ -27,7 +30,11 @@
 // singleflight coalescing, batch corpus submission under one
 // admission slot (/v1/batch), editor delta sessions, per-request
 // language selection through the front-end registry, and live
-// metrics including the summary store's warm-start hit rate. Front
+// metrics including the summary store's warm-start hit rate; fx10d
+// route turns N daemons into one fleet — consistent-hash routing on
+// program content (internal/fleet), health-checked failover that is
+// byte-invisible because replicas agree bit-for-bit, and a summary
+// store shareable across processes (sumstore.OpenShared). Front
 // ends are held to the analysis's soundness bar by a cross-front-end
 // oracle (X10 and Go renderings of the same program must analyze
 // bit-identically under every strategy, and runtime-observed pairs

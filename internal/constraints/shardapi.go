@@ -1,0 +1,121 @@
+package constraints
+
+// Exported assembly hooks for external solvers. The sharded solver
+// (internal/shard) partitions a System by method shard, solves the
+// shards concurrently against its own valuation buffers, and then
+// needs to hand the finished valuation back as a *Solution so the rest
+// of the pipeline (Env extraction, reports, caches, delta seeding)
+// cannot tell which solver produced it. Set values travel as plain
+// *intset.Set slices; pair values travel as a PairBags, the exported
+// wrapper around the internal sparse pairBag representation, so the
+// one pair-entry point (crossSym, with its phase filtering) stays
+// shared between every solver and cross-strategy bit-identity is
+// preserved by construction.
+
+import (
+	"time"
+
+	"fx10/internal/intset"
+)
+
+// PairBags is an indexed collection of sparse pair sets — the exported
+// form of the solver's internal pair representation, for external
+// solvers that assemble a Solution via NewSolution. Index i of a
+// PairBags built with NewPairBags(NumPairVars()) corresponds to
+// PairVar(i). The zero-value bags are empty (bottom).
+type PairBags struct {
+	bags []pairBag
+}
+
+// NewPairBags returns k empty bags.
+func NewPairBags(k int) *PairBags {
+	b := make([]pairBag, k)
+	for i := range b {
+		b[i] = pairBag{}
+	}
+	return &PairBags{bags: b}
+}
+
+// Len returns the number of bags.
+func (b *PairBags) Len() int { return len(b.bags) }
+
+// PairLen returns the number of ordered pairs in bag i.
+func (b *PairBags) PairLen(i int) int { return len(b.bags[i]) }
+
+// CrossSym folds symcross(c, v) into bag i exactly as the built-in
+// solvers do — symmetric product, phase-ordered pairs pruned — and
+// reports change. phase is System.PhaseCode (nil for clock-free
+// programs).
+func (b *PairBags) CrossSym(i int, c, v *intset.Set, phase []int32) bool {
+	return b.bags[i].crossSym(c, v, phase)
+}
+
+// Union adds every pair of o's bag src into bag dst and reports
+// change. o may be b itself; a self-union (same collection, dst ==
+// src) is a no-op by construction.
+func (b *PairBags) Union(dst int, o *PairBags, src int) bool {
+	return b.bags[dst].unionWith(o.bags[src])
+}
+
+// ShardStats describes one sharded solve: how the system was split,
+// how many merge rounds each level needed to reach the cross-shard
+// fixpoint, and the summed per-shard solve time (which exceeds the
+// wall clock when shards ran concurrently).
+type ShardStats struct {
+	// Shards is the number of non-empty method shards.
+	Shards int
+	// MergeRoundsL1 and MergeRoundsL2 count the solve→merge rounds of
+	// the two constraint levels (each includes the final, no-change
+	// round).
+	MergeRoundsL1 int
+	MergeRoundsL2 int
+	// ShardSolveNs sums the per-shard local solve durations across all
+	// rounds.
+	ShardSolveNs int64
+}
+
+// SolveMetrics carries an external solver's counters into
+// NewSolution.
+type SolveMetrics struct {
+	Evaluations int64
+	IterL1      int
+	IterL2      int
+	Duration    time.Duration
+	AllocBytes  uint64
+	// Shard, when non-nil, records sharded-solve structure; it is
+	// surfaced on the Solution for metrics.
+	Shard *ShardStats
+}
+
+// NewSolution assembles a Solution for sys from an externally computed
+// valuation: sets must have NumSetVars entries over the program's
+// label universe and pairs must have NumPairVars bags. NewSolution
+// takes ownership of both. The caller is responsible for the valuation
+// being the least solution; Theorems 5–6 then make the result
+// indistinguishable from any built-in strategy's.
+func NewSolution(sys *System, sets []*intset.Set, pairs *PairBags, m SolveMetrics) *Solution {
+	if len(sets) != sys.NumSetVars() {
+		panic("constraints: NewSolution: set valuation size mismatch")
+	}
+	if pairs.Len() != sys.NumPairVars() {
+		panic("constraints: NewSolution: pair valuation size mismatch")
+	}
+	sol := &Solution{
+		sys:         sys,
+		setVals:     sets,
+		pairVals:    pairs.bags,
+		IterSlabels: sys.Info.Iterations,
+		IterL1:      m.IterL1,
+		IterL2:      m.IterL2,
+		Evaluations: m.Evaluations,
+		Duration:    m.Duration,
+		AllocBytes:  m.AllocBytes,
+		Shard:       m.Shard,
+	}
+	n := sys.P.NumLabels()
+	sol.FootprintBytes += len(sol.setVals) * ((n+63)/64*8 + 24)
+	for _, b := range sol.pairVals {
+		sol.FootprintBytes += b.footprintBytes()
+	}
+	return sol
+}

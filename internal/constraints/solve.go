@@ -114,6 +114,11 @@ type Solution struct {
 	// FootprintBytes estimates the memory retained by the solved
 	// valuation itself.
 	FootprintBytes int
+
+	// Shard, set only by the sharded solver (internal/shard via
+	// NewSolution), describes how the solve was partitioned and
+	// merged; nil for the built-in strategies.
+	Shard *ShardStats
 }
 
 // Solve computes the least solution of the system (Theorem 5: the

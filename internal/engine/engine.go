@@ -78,6 +78,12 @@ type Config struct {
 	// it is also disabled when the summary tier itself is. Engines
 	// with a store should be Closed to flush it.
 	SummaryStorePath string
+	// SummaryStoreShared opens the summary store in multi-process
+	// mode (sumstore.OpenShared): appends serialize under an advisory
+	// file lock and read misses re-scan the log tail, so a fleet of
+	// daemons can share one store directory and any replica can seed
+	// any delta. Ignored when SummaryStorePath is empty.
+	SummaryStoreShared bool
 }
 
 const (
@@ -133,7 +139,11 @@ func New(cfg Config) (*Engine, error) {
 		}
 		e.summaries = newSummaryCache(size)
 		if cfg.SummaryStorePath != "" {
-			store, err := sumstore.Open(cfg.SummaryStorePath)
+			open := sumstore.Open
+			if cfg.SummaryStoreShared {
+				open = sumstore.OpenShared
+			}
+			store, err := open(cfg.SummaryStorePath)
 			if err != nil {
 				return nil, err
 			}
@@ -325,6 +335,7 @@ func (e *Engine) runPipeline(ctx context.Context, p *syntax.Program, mode constr
 	stats.Evaluations = sol.Evaluations
 	stats.AllocBytes = sol.AllocBytes
 	stats.FootprintBytes = sol.FootprintBytes
+	stats.Shard = sol.Shard
 
 	e.storeSummaries(p, sol, mode)
 	return pipelineCore{program: p, info: info, sys: sys, sol: sol}, stats, nil

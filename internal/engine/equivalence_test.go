@@ -32,7 +32,7 @@ func TestStrategyEquivalenceProgenCorpus(t *testing.T) {
 	// the test exercises the same lookup path engine callers use.
 	// (Strategies() is not swept wholesale: other tests register
 	// throwaway strategies in the shared registry.)
-	names := []string{"phased", "monolithic", "worklist", "topo", "ptopo"}
+	names := []string{"phased", "monolithic", "worklist", "topo", "ptopo", "shard"}
 	strategies := make([]Strategy, len(names))
 	for i, name := range names {
 		s, err := Lookup(name)
@@ -81,7 +81,7 @@ func TestStrategyEquivalenceViaEngines(t *testing.T) {
 		})
 	}
 	base := MustNew(Config{Strategy: "phased", CacheSize: -1}).AnalyzeCorpus(jobs)
-	for _, name := range []string{"monolithic", "worklist", "topo", "ptopo"} {
+	for _, name := range []string{"monolithic", "worklist", "topo", "ptopo", "shard"} {
 		got := MustNew(Config{Strategy: name, CacheSize: -1}).AnalyzeCorpus(jobs)
 		for i := range jobs {
 			if base[i].Err != nil || got[i].Err != nil {

@@ -1,6 +1,10 @@
 package engine
 
-import "time"
+import (
+	"time"
+
+	"fx10/internal/constraints"
+)
 
 // Stats records per-stage metrics for one analysis: where the time
 // went, how hard the solver worked, and whether the cache served the
@@ -38,6 +42,10 @@ type Stats struct {
 
 	// Delta is set only on results produced by AnalyzeDelta.
 	Delta *DeltaStats
+
+	// Shard is set only on results produced by the "shard" strategy:
+	// partition shape and merge-round counts of the sharded solve.
+	Shard *constraints.ShardStats
 }
 
 // DeltaStats reports what an incremental analysis reused.

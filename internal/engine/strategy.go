@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"fx10/internal/constraints"
+	"fx10/internal/shard"
 )
 
 // Strategy is one way of computing the least solution of a generated
@@ -106,6 +107,36 @@ func FromOptions(name string, opts constraints.Options) Strategy {
 	return optionsStrategy{name: name, opts: opts.Normalize()}
 }
 
+// shardStrategy adapts the place-sharded solver (internal/shard) to
+// the registry. It lives here rather than in internal/shard because
+// WithWorkers must return an engine.Strategy and the shard package
+// must not import the engine (the engine imports it to register this).
+type shardStrategy struct {
+	cfg shard.Config
+}
+
+func (s shardStrategy) Name() string { return "shard" }
+
+func (s shardStrategy) Solve(sys *constraints.System) *constraints.Solution {
+	return shard.Solve(sys, s.cfg)
+}
+
+func (s shardStrategy) SolveContext(ctx context.Context, sys *constraints.System) (*constraints.Solution, error) {
+	return shard.SolveCtx(ctx, sys, s.cfg)
+}
+
+// WithWorkers pins both the concurrency bound and the shard count:
+// one shard per worker keeps every worker busy without oversplitting
+// (neither affects results, see shard.Config).
+func (s shardStrategy) WithWorkers(n int) Strategy {
+	if n <= 0 {
+		return s
+	}
+	s.cfg.Workers = n
+	s.cfg.Shards = n
+	return s
+}
+
 var (
 	registryMu sync.RWMutex
 	registry   = map[string]Strategy{}
@@ -117,6 +148,7 @@ func init() {
 	MustRegister(FromOptions("worklist", constraints.Options{Worklist: true}))
 	MustRegister(FromOptions("topo", constraints.Options{Topo: true}))
 	MustRegister(FromOptions("ptopo", constraints.Options{Parallel: true}))
+	MustRegister(shardStrategy{})
 }
 
 // Register adds a strategy to the registry. It fails on an empty name

@@ -1,0 +1,348 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fx10/internal/constraints"
+	"fx10/internal/engine"
+	"fx10/internal/fleet"
+	"fx10/internal/labels"
+	"fx10/internal/progen"
+	"fx10/internal/server"
+	"fx10/internal/shard"
+	"fx10/internal/syntax"
+	"fx10/internal/workloads"
+)
+
+// The fleet bench measures the two layers ISSUE 10 adds. The fleet
+// rows drive an in-process replica set (real servers behind real
+// loopback listeners, the consistent-hash router in front) with
+// query-heavy traffic at 1, 2 and 4 replicas — the scaling signal for
+// a read-mostly analysis service whose responses are replica-
+// independent. The shard rows compare the sharded solver against
+// sequential topo per workload, with the shard plan's structure
+// (shards, merge rounds) alongside the times so cost regressions are
+// attributable. Written as BENCH_fleet.json so regressions are
+// diffable across commits.
+
+// FleetRow is one replica-count throughput measurement.
+type FleetRow struct {
+	Replicas    int     `json:"replicas"`
+	Clients     int     `json:"clients"`
+	Requests    int64   `json:"requests"`
+	DurationSec float64 `json:"duration_sec"`
+	ReqPerSec   float64 `json:"req_per_sec"`
+}
+
+// ShardCostRow is one workload's shard-vs-topo solve comparison.
+type ShardCostRow struct {
+	Benchmark     string `json:"benchmark"`
+	TopoNsPerOp   int64  `json:"topo_ns_per_op"`
+	ShardNsPerOp  int64  `json:"shard_ns_per_op"`
+	Shards        int    `json:"shards"`
+	MergeRoundsL1 int    `json:"merge_rounds_l1"`
+	MergeRoundsL2 int    `json:"merge_rounds_l2"`
+}
+
+// FleetBench is the full sweep plus environment.
+type FleetBench struct {
+	Go        string         `json:"go"`
+	GOOS      string         `json:"goos"`
+	GOARCH    string         `json:"goarch"`
+	Reps      int            `json:"reps"`
+	Fleet     []FleetRow     `json:"fleet"`
+	ShardCost []ShardCostRow `json:"shard_cost"`
+}
+
+// RunFleetBench measures routed throughput at 1/2/4 replicas and the
+// per-workload shard-vs-topo solve cost (best of reps).
+func RunFleetBench(reps int) (FleetBench, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	bench := FleetBench{
+		Go:     runtime.Version(),
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+		Reps:   reps,
+	}
+	for _, n := range []int{1, 2, 4} {
+		row, err := measureFleet(n)
+		if err != nil {
+			return bench, err
+		}
+		bench.Fleet = append(bench.Fleet, row)
+	}
+	rows, err := measureShardCost(reps)
+	if err != nil {
+		return bench, err
+	}
+	bench.ShardCost = rows
+	return bench, nil
+}
+
+// measureFleet drives one replica set through the router for a fixed
+// window of query-heavy traffic.
+func measureFleet(replicas int) (FleetRow, error) {
+	const (
+		clients = 8
+		window  = 2 * time.Second
+	)
+	row := FleetRow{Replicas: replicas, Clients: clients, DurationSec: window.Seconds()}
+
+	type replica struct {
+		srv  *server.Server
+		http *http.Server
+		url  string
+	}
+	var reps []replica
+	defer func() {
+		for _, r := range reps {
+			_ = r.http.Close()
+			r.srv.Close()
+		}
+	}()
+	var bases []string
+	for i := 0; i < replicas; i++ {
+		srv, err := server.New(server.Config{})
+		if err != nil {
+			return row, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			srv.Close()
+			return row, err
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go func() { _ = hs.Serve(ln) }()
+		url := "http://" + ln.Addr().String()
+		reps = append(reps, replica{srv: srv, http: hs, url: url})
+		bases = append(bases, url)
+	}
+	rt, err := fleet.NewRouter(fleet.RouterConfig{Backends: bases})
+	if err != nil {
+		return row, err
+	}
+	defer rt.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return row, err
+	}
+	front := &http.Server{Handler: rt.Handler()}
+	go func() { _ = front.Serve(ln) }()
+	defer front.Close()
+	frontURL := "http://" + ln.Addr().String()
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	// Warm every replica directly so the measured window is pure
+	// routed cache-hit traffic, not first-solve noise.
+	type target struct {
+		hash   string
+		labels []string
+	}
+	var targets []target
+	for _, wl := range workloads.All() {
+		p := wl.Program()
+		src := syntax.Print(p)
+		var hash string
+		for _, base := range bases {
+			var resp struct {
+				ProgramHash string `json:"programHash"`
+			}
+			if err := postFleetJSON(client, base+"/v1/analyze", map[string]string{"source": src}, &resp); err != nil {
+				return row, fmt.Errorf("warm %s: %w", wl.Name, err)
+			}
+			hash = resp.ProgramHash
+		}
+		names := make([]string, len(p.Labels))
+		for l := range p.Labels {
+			names[l] = p.Labels[l].Name
+		}
+		targets = append(targets, target{hash: hash, labels: names})
+	}
+
+	var total atomic.Int64
+	deadline := time.Now().Add(window)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			i := c
+			for time.Now().Before(deadline) {
+				t := targets[i%len(targets)]
+				a := t.labels[i%len(t.labels)]
+				b := t.labels[(i+1)%len(t.labels)]
+				err := postFleetJSON(client, frontURL+"/v1/query", map[string]string{
+					"programHash": t.hash, "a": a, "b": b,
+				}, nil)
+				if err == nil {
+					total.Add(1)
+				}
+				i++
+			}
+		}(c)
+	}
+	wg.Wait()
+	row.Requests = total.Load()
+	row.ReqPerSec = float64(row.Requests) / window.Seconds()
+	return row, nil
+}
+
+// measureShardCost times fresh-engine solves per workload under topo
+// and shard, capturing the shard plan's structure from the run. The
+// paper workloads are few-method (their plans collapse to one shard),
+// so huge-tier generated programs follow: many methods, real fan-out,
+// the shape the sharded solver exists for. Shard solutions are
+// verified bit-identical to topo before their times are recorded.
+func measureShardCost(reps int) ([]ShardCostRow, error) {
+	var rows []ShardCostRow
+	for _, wl := range workloads.All() {
+		row := ShardCostRow{Benchmark: wl.Name}
+		job := engine.Job{Name: wl.Name, Program: wl.Program(), Mode: constraints.ContextSensitive}
+		solve := func(strategy string) (int64, *constraints.ShardStats, error) {
+			best := time.Duration(0)
+			var shard *constraints.ShardStats
+			for rep := 0; rep < reps; rep++ {
+				e, err := engine.New(engine.Config{Strategy: strategy})
+				if err != nil {
+					return 0, nil, err
+				}
+				t0 := time.Now()
+				res, err := e.Analyze(job)
+				if err != nil {
+					return 0, nil, err
+				}
+				if d := time.Since(t0); best == 0 || d < best {
+					best = d
+				}
+				if res.Stats.Shard != nil {
+					shard = res.Stats.Shard
+				}
+			}
+			return best.Nanoseconds(), shard, nil
+		}
+		topoNs, _, err := solve("topo")
+		if err != nil {
+			return nil, err
+		}
+		shardNs, st, err := solve("shard")
+		if err != nil {
+			return nil, err
+		}
+		row.TopoNsPerOp = topoNs
+		row.ShardNsPerOp = shardNs
+		if st != nil {
+			row.Shards = st.Shards
+			row.MergeRoundsL1 = st.MergeRoundsL1
+			row.MergeRoundsL2 = st.MergeRoundsL2
+		}
+		rows = append(rows, row)
+	}
+
+	// Fixed shard count for the huge rows: the plan (and so the
+	// recorded merge-round structure) stays identical across machines;
+	// only the times vary with the host.
+	const hugeShards = 8
+	for _, size := range []int{10000, 40000} {
+		p := progen.GenerateHuge(1, progen.Huge(size))
+		sys := constraints.Generate(labels.Compute(p), constraints.ContextInsensitive)
+		row := ShardCostRow{Benchmark: fmt.Sprintf("huge-%d", size)}
+
+		var topoRef *constraints.Solution
+		best := time.Duration(0)
+		for rep := 0; rep < reps; rep++ {
+			t0 := time.Now()
+			sol := sys.Solve(constraints.Options{Topo: true})
+			if d := time.Since(t0); best == 0 || d < best {
+				best = d
+			}
+			topoRef = sol
+		}
+		row.TopoNsPerOp = best.Nanoseconds()
+
+		best = 0
+		for rep := 0; rep < reps; rep++ {
+			t0 := time.Now()
+			sol := shard.Solve(sys, shard.Config{Shards: hugeShards})
+			if d := time.Since(t0); best == 0 || d < best {
+				best = d
+			}
+			if !topoRef.ValuationEqual(sol) {
+				return nil, fmt.Errorf("fleet bench: shard diverges from topo on huge-%d", size)
+			}
+			if st := sol.Shard; st != nil {
+				row.Shards = st.Shards
+				row.MergeRoundsL1 = st.MergeRoundsL1
+				row.MergeRoundsL2 = st.MergeRoundsL2
+			}
+		}
+		row.ShardNsPerOp = best.Nanoseconds()
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func postFleetJSON(client *http.Client, url string, body any, out any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("%s: status %d: %s", url, resp.StatusCode, data)
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+// FormatFleetBench renders both sweeps as aligned tables.
+func FormatFleetBench(bench FleetBench) string {
+	var b strings.Builder
+	tw := newTable(&b, "replicas", "clients", "requests", "req/s")
+	for _, r := range bench.Fleet {
+		tw.row(fmt.Sprint(r.Replicas), fmt.Sprint(r.Clients), fmt.Sprint(r.Requests), fmt.Sprintf("%.0f", r.ReqPerSec))
+	}
+	tw.flush()
+	b.WriteString("\n")
+	tw = newTable(&b, "benchmark", "topo ns/op", "shard ns/op", "shards", "L1 rounds", "L2 rounds")
+	for _, r := range bench.ShardCost {
+		tw.row(r.Benchmark,
+			fmt.Sprint(r.TopoNsPerOp),
+			fmt.Sprint(r.ShardNsPerOp),
+			fmt.Sprint(r.Shards),
+			fmt.Sprint(r.MergeRoundsL1),
+			fmt.Sprint(r.MergeRoundsL2))
+	}
+	tw.flush()
+	return b.String()
+}
+
+// WriteFleetBenchJSON writes the sweep for committing as
+// BENCH_fleet.json.
+func WriteFleetBenchJSON(bench FleetBench, path string) error {
+	data, err := json.MarshalIndent(bench, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

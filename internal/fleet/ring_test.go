@@ -1,0 +1,177 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringBackends(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://10.0.0.%d:8710", i+1)
+	}
+	return out
+}
+
+func ringKeys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("p|%064x|cs", i)
+	}
+	return out
+}
+
+// TestRingDeterministicAcrossConstruction pins the restart invariant:
+// the ring is a pure function of the backend address strings, so two
+// rings built from the same addresses — in any order — route every
+// key identically. This is what lets a restarted (or duplicated)
+// router keep hitting the same replica caches.
+func TestRingDeterministicAcrossConstruction(t *testing.T) {
+	backends := ringBackends(5)
+	a, err := NewRing(backends, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reversed input order and duplicates must not matter.
+	rev := append([]string{backends[3]}, backends...)
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	b, err := NewRing(rev, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range ringKeys(2000) {
+		if a.Lookup(key) != b.Lookup(key) {
+			t.Fatalf("key %q routes differently across identical rings", key)
+		}
+	}
+}
+
+// TestRingDistribution bounds key skew: with vnodes smoothing, every
+// backend's share of 20k keys stays within 2× of fair in both
+// directions — the load-spread property the fleet's linear-scaling
+// target depends on.
+func TestRingDistribution(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 8} {
+		r, err := NewRing(ringBackends(n), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := map[string]int{}
+		const total = 20000
+		for _, key := range ringKeys(total) {
+			counts[r.Lookup(key)]++
+		}
+		if len(counts) != n {
+			t.Fatalf("n=%d: only %d backends received keys", n, len(counts))
+		}
+		fair := total / n
+		for b, c := range counts {
+			if c < fair/2 || c > fair*2 {
+				t.Errorf("n=%d: backend %s got %d keys (fair %d)", n, b, c, fair)
+			}
+		}
+	}
+}
+
+// TestRingMinimalMovement checks consistent hashing's defining
+// property: removing one of n backends remaps only the removed
+// backend's keys (everything else stays put), and adding one moves at
+// most ~2/n of the keyspace.
+func TestRingMinimalMovement(t *testing.T) {
+	backends := ringBackends(4)
+	full, err := NewRing(backends, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, err := NewRing(backends[:3], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := ringKeys(10000)
+
+	removed := backends[3]
+	moved := 0
+	for _, key := range keys {
+		was, is := full.Lookup(key), reduced.Lookup(key)
+		if was == removed {
+			continue // had to move
+		}
+		if was != is {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Errorf("removal moved %d keys that were not on the removed backend", moved)
+	}
+
+	grown, err := NewRing(append(backends, "http://10.0.0.9:8710"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved = 0
+	for _, key := range keys {
+		if full.Lookup(key) != grown.Lookup(key) {
+			moved++
+		}
+	}
+	if max := 2 * len(keys) / 5; moved > max {
+		t.Errorf("adding a 5th backend moved %d of %d keys (max %d)", moved, len(keys), max)
+	}
+	if moved == 0 {
+		t.Errorf("adding a backend moved no keys at all")
+	}
+}
+
+// TestRingLookupNFailoverOrder checks that LookupN yields distinct
+// backends, starts at the primary, and that its order equals "remove
+// the primary and look up again" — the property that makes failover
+// equivalent to ring membership change.
+func TestRingLookupNFailoverOrder(t *testing.T) {
+	backends := ringBackends(4)
+	r, err := NewRing(backends, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range ringKeys(300) {
+		order := r.LookupN(key, len(backends))
+		if len(order) != len(backends) {
+			t.Fatalf("LookupN returned %d backends, want %d", len(order), len(backends))
+		}
+		seen := map[string]bool{}
+		for _, b := range order {
+			if seen[b] {
+				t.Fatalf("LookupN repeated backend %s", b)
+			}
+			seen[b] = true
+		}
+		if order[0] != r.Lookup(key) {
+			t.Fatalf("LookupN does not start at the primary")
+		}
+		// Failover target == owner after removing the primary.
+		var without []string
+		for _, b := range backends {
+			if b != order[0] {
+				without = append(without, b)
+			}
+		}
+		rr, err := NewRing(without, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := rr.Lookup(key); got != order[1] {
+			t.Fatalf("failover order %v disagrees with ring-minus-primary owner %s", order[:2], got)
+		}
+	}
+}
+
+// TestRingRejectsEmpty pins the constructor's error cases.
+func TestRingRejectsEmpty(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty backend list accepted")
+	}
+	if _, err := NewRing([]string{""}, 0); err == nil {
+		t.Fatal("empty backend address accepted")
+	}
+}

@@ -1,0 +1,303 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fx10/internal/server"
+)
+
+// fleetBackend is one real fx10d server behind an httptest listener,
+// with a request counter so tests can see who served what.
+type fleetBackend struct {
+	ts     *httptest.Server
+	served atomic.Int64
+}
+
+func startBackends(t *testing.T, n int) []*fleetBackend {
+	t.Helper()
+	out := make([]*fleetBackend, n)
+	for i := range out {
+		s, err := server.New(server.Config{})
+		if err != nil {
+			t.Fatalf("server.New: %v", err)
+		}
+		b := &fleetBackend{}
+		h := s.Handler()
+		b.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path != "/healthz" {
+				b.served.Add(1)
+			}
+			h.ServeHTTP(w, r)
+		}))
+		t.Cleanup(func() { b.ts.Close(); s.Close() })
+		out[i] = b
+	}
+	return out
+}
+
+func backendURLs(backends []*fleetBackend) []string {
+	urls := make([]string, len(backends))
+	for i, b := range backends {
+		urls[i] = b.ts.URL
+	}
+	return urls
+}
+
+func startRouter(t *testing.T, backends []*fleetBackend) (*Router, *httptest.Server) {
+	t.Helper()
+	rt, err := NewRouter(RouterConfig{
+		Backends:    backendURLs(backends),
+		HealthEvery: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	ts := httptest.NewServer(rt.Handler())
+	t.Cleanup(func() { ts.Close(); rt.Close() })
+	return rt, ts
+}
+
+func postBody(t *testing.T, url string, body []byte) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+func analyzeBody(t *testing.T, source string) []byte {
+	t.Helper()
+	buf, err := json.Marshal(map[string]string{"source": source})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+const routerTestSource = `
+array 4;
+void m1() { A: a[0] = 1; B: async { C: a[1] = 2; } }
+void main() { F: finish { G: async { H: m1(); } } I: a[2] = 3; }
+`
+
+// reportBytes extracts the report object from an analyze response.
+// Replicas agree on the report bit-for-bit; envelope fields like
+// solveMs and cached are legitimately per-request.
+func reportBytes(t *testing.T, data []byte) []byte {
+	t.Helper()
+	var resp struct {
+		Report json.RawMessage `json:"report"`
+	}
+	if err := json.Unmarshal(data, &resp); err != nil {
+		t.Fatalf("analyze response is not JSON: %v\n%s", err, data)
+	}
+	if len(resp.Report) == 0 {
+		t.Fatalf("analyze response has no report:\n%s", data)
+	}
+	return resp.Report
+}
+
+// TestRouterHashAffinity: repeated requests for the same program all
+// land on the ring owner — one backend serves everything, the others
+// see no /v1 traffic.
+func TestRouterHashAffinity(t *testing.T) {
+	backends := startBackends(t, 3)
+	_, ts := startRouter(t, backends)
+
+	body := analyzeBody(t, routerTestSource)
+	var first []byte
+	for i := 0; i < 6; i++ {
+		status, data := postBody(t, ts.URL+"/v1/analyze", body)
+		if status != http.StatusOK {
+			t.Fatalf("analyze via router: status %d: %s", status, data)
+		}
+		if rep := reportBytes(t, data); first == nil {
+			first = rep
+		} else if !bytes.Equal(first, rep) {
+			t.Fatalf("router returned different report bytes for the same request")
+		}
+	}
+	hot := 0
+	for _, b := range backends {
+		if n := b.served.Load(); n > 0 {
+			hot++
+			if n != 6 {
+				t.Errorf("owning backend served %d of 6 requests", n)
+			}
+		}
+	}
+	if hot != 1 {
+		t.Errorf("%d backends served traffic, want exactly 1 (hash affinity)", hot)
+	}
+}
+
+// TestRouterResponsesBitIdentical: the same analyze request posted
+// directly to every replica yields byte-identical responses — the
+// property that makes the router's failover invisible.
+func TestRouterResponsesBitIdentical(t *testing.T) {
+	backends := startBackends(t, 3)
+	body := analyzeBody(t, routerTestSource)
+	var first []byte
+	for i, b := range backends {
+		status, data := postBody(t, b.ts.URL+"/v1/analyze", body)
+		if status != http.StatusOK {
+			t.Fatalf("backend %d: status %d: %s", i, status, data)
+		}
+		if rep := reportBytes(t, data); first == nil {
+			first = rep
+		} else if !bytes.Equal(first, rep) {
+			t.Fatalf("backend %d report differs from backend 0:\n%s\n---\n%s", i, first, rep)
+		}
+	}
+}
+
+// TestRouterFailover: kill the backend that owns a key; the router
+// routes around it (same response bytes, reroutes counted) and its
+// /healthz stays ok while any replica survives.
+func TestRouterFailover(t *testing.T) {
+	backends := startBackends(t, 3)
+	rt, ts := startRouter(t, backends)
+
+	body := analyzeBody(t, routerTestSource)
+	status, preKill := postBody(t, ts.URL+"/v1/analyze", body)
+	if status != http.StatusOK {
+		t.Fatalf("pre-kill analyze: status %d: %s", status, preKill)
+	}
+	want := reportBytes(t, preKill)
+
+	owner := rt.Ring().Lookup(RouteKey("/v1/analyze", body))
+	for _, b := range backends {
+		if b.ts.URL == owner {
+			b.ts.Close()
+		}
+	}
+
+	status, postKill := postBody(t, ts.URL+"/v1/analyze", body)
+	if status != http.StatusOK {
+		t.Fatalf("post-kill analyze: status %d: %s", status, postKill)
+	}
+	if got := reportBytes(t, postKill); !bytes.Equal(want, got) {
+		t.Fatalf("failover changed report bytes:\n%s\n---\n%s", want, got)
+	}
+	if rt.isHealthy(owner) {
+		t.Errorf("dead owner %s still marked healthy after transport failure", owner)
+	}
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("router /healthz = %d with 2 of 3 replicas alive", resp.StatusCode)
+	}
+}
+
+// TestRouterMetricsSection: the router's /metrics carries the "fleet"
+// section with backends, health partition and per-backend routing
+// counts.
+func TestRouterMetricsSection(t *testing.T) {
+	backends := startBackends(t, 2)
+	_, ts := startRouter(t, backends)
+
+	postBody(t, ts.URL+"/v1/analyze", analyzeBody(t, routerTestSource))
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	var m struct {
+		Fleet *struct {
+			Backends []string         `json:"backends"`
+			Healthy  []string         `json:"healthy"`
+			Routed   map[string]int64 `json:"routedRequests"`
+			Keyed    map[string]int64 `json:"keyedRequests"`
+		} `json:"fleet"`
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("router /metrics is not JSON: %v\n%s", err, data)
+	}
+	if m.Fleet == nil {
+		t.Fatalf("router /metrics missing fleet section\n%s", data)
+	}
+	if len(m.Fleet.Backends) != 2 || len(m.Fleet.Healthy) != 2 {
+		t.Errorf("fleet section backends/healthy = %v / %v, want 2 each", m.Fleet.Backends, m.Fleet.Healthy)
+	}
+	var routed int64
+	for _, n := range m.Fleet.Routed {
+		routed += n
+	}
+	if routed != 1 || m.Fleet.Keyed["/v1/analyze"] != 1 {
+		t.Errorf("fleet counters routed=%d keyed=%v, want 1 routed and 1 keyed analyze", routed, m.Fleet.Keyed)
+	}
+}
+
+// TestRouteKeyContentIdentity pins the key derivation: reformatted
+// FX10 sources share a key (parsed Program.Hash is over the canonical
+// print, not the raw bytes), the analyze key aligns with the query
+// key for the program's hash, modes separate keys, and malformed
+// bodies still key deterministically.
+func TestRouteKeyContentIdentity(t *testing.T) {
+	reformatted := `array 4;
+void m1() {
+  A: a[0] = 1;
+  B: async {
+    C: a[1] = 2;
+  }
+}
+void main() {
+  F: finish {
+    G: async { H: m1(); }
+  }
+  I: a[2] = 3;
+}`
+	kA := RouteKey("/v1/analyze", analyzeBody(t, routerTestSource))
+	kB := RouteKey("/v1/analyze", analyzeBody(t, reformatted))
+	if kA != kB {
+		t.Errorf("reformatted source routes differently:\n%s\n%s", kA, kB)
+	}
+
+	// The analyze key embeds the program hash /v1/query carries.
+	backends := startBackends(t, 1)
+	status, data := postBody(t, backends[0].ts.URL+"/v1/analyze", analyzeBody(t, routerTestSource))
+	if status != http.StatusOK {
+		t.Fatalf("analyze: status %d: %s", status, data)
+	}
+	var resp struct {
+		ProgramHash string `json:"programHash"`
+	}
+	if err := json.Unmarshal(data, &resp); err != nil || resp.ProgramHash == "" {
+		t.Fatalf("analyze response has no programHash: %v\n%s", err, data)
+	}
+	qBody := []byte(fmt.Sprintf(`{"programHash":%q,"a":"A","b":"B"}`, resp.ProgramHash))
+	if kQ := RouteKey("/v1/query", qBody); kQ != kA {
+		t.Errorf("query key %q does not align with analyze key %q", kQ, kA)
+	}
+
+	ciBody := []byte(fmt.Sprintf(`{"source":%q,"mode":"ci"}`, routerTestSource))
+	if RouteKey("/v1/analyze", ciBody) == kA {
+		t.Errorf("ci and cs modes share a route key")
+	}
+
+	raw := []byte(`{not json`)
+	if RouteKey("/v1/analyze", raw) != RouteKey("/v1/analyze", raw) {
+		t.Errorf("malformed body keys are not deterministic")
+	}
+}

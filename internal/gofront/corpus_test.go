@@ -73,8 +73,8 @@ func TestGoProgramsCorpus(t *testing.T) {
 			}
 		})
 	}
-	if n < 6 {
-		t.Fatalf("corpus has only %d Go files, want ≥ 6", n)
+	if n < 10 {
+		t.Fatalf("corpus has only %d Go files, want ≥ 10", n)
 	}
 }
 
@@ -86,12 +86,16 @@ func TestGoProgramsCorpusExpectations(t *testing.T) {
 		finishes, asyncs int
 		diagnostic       string // "" = must be drop-free
 	}{
-		"fanout.go":     {finishes: 1, asyncs: 1},
-		"workerpool.go": {finishes: 1, asyncs: 1, diagnostic: "channel send"},
-		"nested.go":     {finishes: 2, asyncs: 2},
-		"errgroup.go":   {finishes: 1, asyncs: 2},
-		"mixed.go":      {finishes: 1, asyncs: 2},
-		"leaky.go":      {finishes: 0, asyncs: 2, diagnostic: "untracked goroutine"},
+		"fanout.go":       {finishes: 1, asyncs: 1},
+		"workerpool.go":   {finishes: 1, asyncs: 1, diagnostic: "channel send"},
+		"nested.go":       {finishes: 2, asyncs: 2},
+		"errgroup.go":     {finishes: 1, asyncs: 2},
+		"mixed.go":        {finishes: 1, asyncs: 2},
+		"leaky.go":        {finishes: 0, asyncs: 2, diagnostic: "untracked goroutine"},
+		"fanin.go":        {finishes: 1, asyncs: 1, diagnostic: "channel send"},
+		"earlyreturn.go":  {finishes: 1, asyncs: 2},
+		"deepspans.go":    {finishes: 2, asyncs: 2},
+		"untrackedmix.go": {finishes: 0, asyncs: 3, diagnostic: "untracked goroutine"},
 	}
 	for name, w := range want {
 		t.Run(name, func(t *testing.T) {

@@ -92,6 +92,10 @@ type Config struct {
 	// survive restarts and are shared across processes pointed at the
 	// same path.
 	SummaryStorePath string
+	// SummaryStoreShared opens the store in multi-process mode so a
+	// fleet of daemons can share one store directory (see
+	// engine.Config.SummaryStoreShared).
+	SummaryStoreShared bool
 }
 
 func (c Config) withDefaults() Config {
@@ -147,12 +151,13 @@ type Server struct {
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	eng, err := engine.New(engine.Config{
-		Strategy:         cfg.Strategy,
-		Workers:          cfg.Workers,
-		SolverWorkers:    cfg.SolverWorkers,
-		CacheSize:        cfg.CacheSize,
-		SummaryCacheSize: cfg.SummaryCacheSize,
-		SummaryStorePath: cfg.SummaryStorePath,
+		Strategy:           cfg.Strategy,
+		Workers:            cfg.Workers,
+		SolverWorkers:      cfg.SolverWorkers,
+		CacheSize:          cfg.CacheSize,
+		SummaryCacheSize:   cfg.SummaryCacheSize,
+		SummaryStorePath:   cfg.SummaryStorePath,
+		SummaryStoreShared: cfg.SummaryStoreShared,
 	})
 	if err != nil {
 		return nil, err
@@ -529,6 +534,7 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 	d := time.Since(t0)
 	s.metrics.solveLatency.Observe(d)
 	s.observeSolve(d)
+	s.metrics.observeShard(res.Stats.Shard)
 
 	sess.base = res
 	key := flightKey{hash: p.Hash(), mode: mode}

@@ -1,0 +1,172 @@
+package shard
+
+import (
+	"context"
+	"testing"
+
+	"fx10/internal/constraints"
+	"fx10/internal/fixtures"
+	"fx10/internal/labels"
+	"fx10/internal/parser"
+	"fx10/internal/progen"
+	"fx10/internal/syntax"
+)
+
+// recursiveSource puts genuine cycles into both constraint levels and,
+// with the methods split across shards, genuine cross-shard cycles:
+// the merge rounds must iterate, not just propagate once.
+const recursiveSource = `
+array 4;
+void f() {
+  async { a[0] = 1; }
+  g();
+}
+void g() {
+  a[1] = 2;
+  f();
+}
+void main() {
+  finish { f(); }
+  a[2] = 3;
+}
+`
+
+// placedSource pins activities to places 1 and 2, driving the
+// place-aware ordering in PlanSystem.
+const placedSource = `
+array 4;
+void left() {
+  async at (1) { a[0] = 1; }
+}
+void right() {
+  async at (2) { a[1] = 2; }
+}
+void main() {
+  finish {
+    left();
+    right();
+  }
+  a[2] = 3;
+}
+`
+
+func testPrograms(t *testing.T) []*syntax.Program {
+	t.Helper()
+	var programs []*syntax.Program
+	for _, src := range []string{fixtures.Example21Source, fixtures.Example22Source, recursiveSource, placedSource} {
+		programs = append(programs, parser.MustParse(src))
+	}
+	for seed := int64(500); seed < 530; seed++ {
+		programs = append(programs, progen.Generate(seed, progen.Default()))
+	}
+	// Clocked programs exercise the phase filter inside CrossSym: a
+	// sharded solve that bypassed it would differ on these.
+	for seed := int64(0); seed < 15; seed++ {
+		programs = append(programs, progen.Generate(seed, progen.ClockedFinite()))
+	}
+	return programs
+}
+
+// TestShardEqualsTopo is the tentpole acceptance check at the
+// valuation level: for every program, mode, shard count and worker
+// count, the sharded solve assigns bit-identical values to every set
+// and pair variable as the topo solver (both are least solutions, and
+// the least solution is unique — Theorems 5–6).
+func TestShardEqualsTopo(t *testing.T) {
+	configs := []Config{
+		{Shards: 1, Workers: 1},
+		{Shards: 3, Workers: 1},
+		{Shards: 3, Workers: 3},
+		{Shards: 8, Workers: 4},
+	}
+	for pi, p := range testPrograms(t) {
+		for _, mode := range []constraints.Mode{constraints.ContextSensitive, constraints.ContextInsensitive} {
+			sys := constraints.Generate(labels.Compute(p), mode)
+			topo := sys.Solve(constraints.Options{Topo: true})
+			for _, cfg := range configs {
+				got := Solve(sys, cfg)
+				if !topo.ValuationEqual(got) {
+					t.Fatalf("program %d (%v) shards=%d workers=%d: valuation differs from topo\n%s",
+						pi, mode, cfg.Shards, cfg.Workers, syntax.Print(p))
+				}
+				if got.Shard == nil {
+					t.Fatalf("program %d: sharded solution missing ShardStats", pi)
+				}
+				if got.Shard.MergeRoundsL1 < 1 || got.Shard.MergeRoundsL2 < 1 {
+					t.Fatalf("program %d: implausible merge rounds %+v", pi, got.Shard)
+				}
+				if got.Shard.Shards < 1 || got.Shard.Shards > cfg.Shards {
+					t.Fatalf("program %d: %d non-empty shards with cap %d", pi, got.Shard.Shards, cfg.Shards)
+				}
+			}
+		}
+	}
+}
+
+// TestPlanDeterministic pins that planning is a pure function of the
+// program: identical inputs give identical plans (fleet replicas rely
+// on this — and on solver bit-identity generally — for byte-identical
+// reports), and every method lands in a valid shard.
+func TestPlanDeterministic(t *testing.T) {
+	for _, src := range []string{recursiveSource, placedSource} {
+		p := parser.MustParse(src)
+		sys := constraints.Generate(labels.Compute(p), constraints.ContextSensitive)
+		for _, k := range []int{1, 2, 3, 16} {
+			a := PlanSystem(sys, k)
+			b := PlanSystem(sys, k)
+			if a.NumShards != b.NumShards {
+				t.Fatalf("k=%d: shard counts differ: %d vs %d", k, a.NumShards, b.NumShards)
+			}
+			if len(a.ShardOf) != len(p.Methods) {
+				t.Fatalf("k=%d: plan covers %d of %d methods", k, len(a.ShardOf), len(p.Methods))
+			}
+			for mi := range a.ShardOf {
+				if a.ShardOf[mi] != b.ShardOf[mi] {
+					t.Fatalf("k=%d: plans differ at method %d", k, mi)
+				}
+				if a.ShardOf[mi] < 0 || int(a.ShardOf[mi]) >= a.NumShards {
+					t.Fatalf("k=%d: method %d in invalid shard %d of %d", k, mi, a.ShardOf[mi], a.NumShards)
+				}
+			}
+		}
+	}
+}
+
+// TestShardStatsDeterministic pins that the solver's work counters are
+// scheduling-independent: within a round shards share no mutable
+// state, so evaluation and merge-round counts must not depend on
+// worker interleaving. The /metrics golden-stability test builds on
+// this.
+func TestShardStatsDeterministic(t *testing.T) {
+	p := progen.Generate(501, progen.Default())
+	sys := constraints.Generate(labels.Compute(p), constraints.ContextSensitive)
+	cfg := Config{Shards: 4, Workers: 4}
+	base := Solve(sys, cfg)
+	for i := 0; i < 5; i++ {
+		got := Solve(sys, cfg)
+		if got.Evaluations != base.Evaluations {
+			t.Fatalf("run %d: evaluations %d != %d", i, got.Evaluations, base.Evaluations)
+		}
+		if *got.Shard != *base.Shard && (got.Shard.MergeRoundsL1 != base.Shard.MergeRoundsL1 ||
+			got.Shard.MergeRoundsL2 != base.Shard.MergeRoundsL2 || got.Shard.Shards != base.Shard.Shards) {
+			t.Fatalf("run %d: shard stats %+v != %+v", i, got.Shard, base.Shard)
+		}
+	}
+}
+
+// TestShardCancellation checks the cooperative-cancellation contract:
+// a cancelled context aborts the solve with the context's error and no
+// partial solution.
+func TestShardCancellation(t *testing.T) {
+	p := progen.Generate(502, progen.Default())
+	sys := constraints.Generate(labels.Compute(p), constraints.ContextSensitive)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sol, err := SolveCtx(ctx, sys, Config{Shards: 4, Workers: 2})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if sol != nil {
+		t.Fatalf("got a partial solution alongside the error")
+	}
+}

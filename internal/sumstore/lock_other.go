@@ -1,0 +1,14 @@
+//go:build !unix
+
+package sumstore
+
+import "os"
+
+// Without flock, a shared open still works but provides no
+// cross-process serialization: safe for a single daemon, not for a
+// fleet on one store directory.
+const sharedLocksSupported = false
+
+func lockExclusive(f *os.File) error { return nil }
+func lockShared(f *os.File) error    { return nil }
+func unlock(f *os.File) error        { return nil }

@@ -1,0 +1,32 @@
+//go:build unix
+
+package sumstore
+
+import (
+	"os"
+	"syscall"
+)
+
+// sharedLocksSupported reports whether this platform actually
+// serializes shared stores; callers that require fleet-grade sharing
+// (scripts/fleet_smoke.sh) only run where it is true.
+const sharedLocksSupported = true
+
+func flock(f *os.File, how int) error {
+	for {
+		err := syscall.Flock(int(f.Fd()), how)
+		if err != syscall.EINTR {
+			return err
+		}
+	}
+}
+
+// lockExclusive blocks until this process holds the log's exclusive
+// advisory lock (writers and recovery).
+func lockExclusive(f *os.File) error { return flock(f, syscall.LOCK_EX) }
+
+// lockShared blocks until this process holds the log's shared
+// advisory lock (tail refresh on reads).
+func lockShared(f *os.File) error { return flock(f, syscall.LOCK_SH) }
+
+func unlock(f *os.File) error { return flock(f, syscall.LOCK_UN) }

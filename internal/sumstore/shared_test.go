@@ -1,0 +1,200 @@
+package sumstore
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"fx10/internal/types"
+)
+
+// Two OpenShared stores in one process hold distinct file
+// descriptions, so flock serializes them exactly as it would two
+// daemons — these tests exercise the real multi-writer protocol.
+
+// TestSharedStoresSeeEachOther checks the fleet-sharing contract: a
+// record one replica appends becomes visible to an already-open
+// replica through the miss-path tail refresh, without reopening.
+func TestSharedStoresSeeEachOther(t *testing.T) {
+	if !sharedLocksSupported {
+		t.Skip("no flock on this platform")
+	}
+	dir := t.TempDir()
+	a, err := OpenShared(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := OpenShared(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	rng := rand.New(rand.NewSource(11))
+	want := map[int]types.Summary{}
+	for i := 0; i < 50; i++ {
+		sum := randSummary(rng)
+		want[i] = sum
+		if i%2 == 0 {
+			a.Put(keyOf(i), sum)
+		} else {
+			b.Put(keyOf(i), sum)
+		}
+	}
+	for i, sum := range want {
+		for name, st := range map[string]*Store{"a": a, "b": b} {
+			got, ok := st.Get(keyOf(i))
+			if !ok {
+				t.Fatalf("store %s: key %d missing", name, i)
+			}
+			if !equalSummaries(got, sum) {
+				t.Fatalf("store %s: key %d decoded differently", name, i)
+			}
+		}
+	}
+	if fr := b.Stats().ForeignRecords + a.Stats().ForeignRecords; fr == 0 {
+		t.Fatalf("no foreign records reconciled across the two stores")
+	}
+	if !a.Stats().Shared {
+		t.Fatalf("stats do not report shared mode")
+	}
+}
+
+// TestSharedStoresConcurrentWriters hammers one directory from several
+// stores and goroutines at once, then verifies every record survived
+// intact — both via the live stores and via a fresh recovery-path
+// open. This is the scenario the process-local append offset used to
+// get wrong (two writers clobbering the same EOF).
+func TestSharedStoresConcurrentWriters(t *testing.T) {
+	if !sharedLocksSupported {
+		t.Skip("no flock on this platform")
+	}
+	dir := t.TempDir()
+	const stores = 3
+	const perStore = 40
+
+	sts := make([]*Store, stores)
+	for i := range sts {
+		st, err := OpenShared(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer st.Close()
+		sts[i] = st
+	}
+
+	// Deterministic per-writer summaries; some keys deliberately
+	// overlap across writers (content addressing: first write wins,
+	// values for one key are identical).
+	sums := map[int]types.Summary{}
+	var sumsMu sync.Mutex
+	var wg sync.WaitGroup
+	for wi, st := range sts {
+		wg.Add(1)
+		go func(wi int, st *Store) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(100)) // same seed: overlapping keys agree
+			for i := 0; i < perStore; i++ {
+				key := (wi*perStore + i) % (stores*perStore - 20)
+				sum := randSummary(rng)
+				sumsMu.Lock()
+				if prev, ok := sums[key]; ok {
+					sum = prev // keep key→value functional
+				} else {
+					sums[key] = sum
+				}
+				sumsMu.Unlock()
+				st.Put(keyOf(key), sum)
+			}
+		}(wi, st)
+	}
+	wg.Wait()
+
+	for key, sum := range sums {
+		for si, st := range sts {
+			got, ok := st.Get(keyOf(key))
+			if !ok {
+				t.Fatalf("store %d: key %d missing after concurrent writes", si, key)
+			}
+			if !equalSummaries(got, sum) {
+				t.Fatalf("store %d: key %d corrupted", si, key)
+			}
+		}
+	}
+
+	// A fresh open must replay the whole log without truncating
+	// anything: concurrent appends may not interleave into torn or
+	// overlapping records.
+	fresh, err := OpenShared(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Close()
+	st := fresh.Stats()
+	if st.TruncatedBytes != 0 || st.Invalidations != 0 {
+		t.Fatalf("recovery found damage after concurrent writes: %+v", st)
+	}
+	if st.Records != len(sums) {
+		t.Fatalf("recovered %d records, want %d", st.Records, len(sums))
+	}
+	for key, sum := range sums {
+		got, ok := fresh.Get(keyOf(key))
+		if !ok || !equalSummaries(got, sum) {
+			t.Fatalf("fresh open: key %d missing or corrupt", key)
+		}
+	}
+}
+
+// TestSharedHasRefreshesTail pins that the presence probe (what the
+// engine's warm-start path uses) also sees foreign appends.
+func TestSharedHasRefreshesTail(t *testing.T) {
+	if !sharedLocksSupported {
+		t.Skip("no flock on this platform")
+	}
+	dir := t.TempDir()
+	a, err := OpenShared(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := OpenShared(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	rng := rand.New(rand.NewSource(12))
+	a.Put(keyOf(1), randSummary(rng))
+	if !b.Has(keyOf(1)) {
+		t.Fatalf("Has missed a foreign record")
+	}
+	if b.Has(keyOf(2)) {
+		t.Fatalf("Has found a record nobody wrote")
+	}
+	if b.Stats().TailRefreshes == 0 {
+		t.Fatalf("miss path did not refresh the tail")
+	}
+}
+
+// TestSoloStoreUnchanged guards the default path: a store opened with
+// Open never takes locks or rescans, and its stats say so.
+func TestSoloStoreUnchanged(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 10; i++ {
+		st.Put(keyOf(i), randSummary(rng))
+	}
+	s := st.Stats()
+	if s.Shared || s.TailRefreshes != 0 || s.ForeignRecords != 0 {
+		t.Fatalf("solo store reports shared activity: %+v", s)
+	}
+	if s.Puts != 10 {
+		t.Fatalf("puts = %d, want 10", s.Puts)
+	}
+}

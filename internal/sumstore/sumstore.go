@@ -115,16 +115,26 @@ type Stats struct {
 
 	WriteErrors uint64 `json:"writeErrors"`
 	ReadErrors  uint64 `json:"readErrors"`
+
+	// Shared reports OpenShared mode; ForeignRecords counts records
+	// appended by other processes that this store picked up after
+	// open, and TailRefreshes counts the shared-lock tail re-scans
+	// that found them.
+	Shared         bool   `json:"shared"`
+	ForeignRecords int    `json:"foreignRecords"`
+	TailRefreshes  uint64 `json:"tailRefreshes"`
 }
 
 // Store is a disk-backed content-addressed summary store. It is safe
-// for concurrent use.
+// for concurrent use; opened with OpenShared it is additionally safe
+// for concurrent use by multiple processes on one directory.
 type Store struct {
-	dir string
+	dir    string
+	shared bool
 
 	mu     sync.Mutex
 	f      *os.File
-	size   int64 // log append offset
+	size   int64 // log offset this store has scanned up to (== EOF when solo)
 	index  map[Key]recordLoc
 	broken bool // a failed truncate-after-partial-write poisons appends
 
@@ -134,6 +144,8 @@ type Store struct {
 	bytesWritten, bytesRead     uint64
 	writeErrors, readErrors     uint64
 	recoveredRecords            int
+	foreignRecords              int
+	tailRefreshes               uint64
 	truncatedBytes              int64
 	invalidations               uint64
 	indexLoaded                 bool
@@ -142,8 +154,29 @@ type Store struct {
 // Open opens (creating if needed) the store rooted at dir, recovering
 // the index from the snapshot plus a checksum-verified scan of the
 // log tail. A torn or corrupt suffix is truncated; an unknown format
-// version resets the store.
+// version resets the store. The store assumes it is the directory's
+// only live writer; for a fleet of daemons on one directory use
+// OpenShared.
 func Open(dir string) (*Store, error) {
+	return open(dir, false)
+}
+
+// OpenShared opens the store for multi-process sharing: every append
+// happens at the verified end of the log under an exclusive flock
+// (first reconciling records other processes appended since this
+// store last looked), and a read miss re-scans the tail under a
+// shared flock before giving up. Content addressing makes this sound
+// — identical keys imply identical values, so replicas can only ever
+// duplicate work, never disagree — and the locking makes it safe: a
+// torn record can only be the leftover of a crashed writer (live
+// writers are serialized by the exclusive lock), so truncating it
+// under that lock never discards live data. On platforms without
+// flock, OpenShared degrades to Open semantics.
+func OpenShared(dir string) (*Store, error) {
+	return open(dir, true)
+}
+
+func open(dir string, shared bool) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("sumstore: %w", err)
 	}
@@ -151,7 +184,16 @@ func Open(dir string) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sumstore: %w", err)
 	}
-	s := &Store{dir: dir, f: f, index: make(map[Key]recordLoc)}
+	s := &Store{dir: dir, f: f, shared: shared, index: make(map[Key]recordLoc)}
+	if shared {
+		// Recovery may truncate a torn tail, which is only safe with
+		// the writers excluded.
+		if err := lockExclusive(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("sumstore: lock: %w", err)
+		}
+		defer unlock(f)
+	}
 	if err := s.recover(); err != nil {
 		f.Close()
 		return nil, err
@@ -284,13 +326,96 @@ func (s *Store) loadSnapshot(logSize int64) (covered int64, idx map[Key]recordLo
 	return covered, idx, true
 }
 
+// scanTailLocked indexes records other processes appended between the
+// scanned offset and EOF. The caller must hold the log's advisory
+// lock: exclusively (ex true) when the scan may truncate an invalid
+// tail, shared otherwise — then the scan just stops short of a torn
+// record and leaves it for the next exclusive holder.
+func (s *Store) scanTailLocked(ex bool) {
+	fi, err := s.f.Stat()
+	if err != nil {
+		s.readErrors++
+		return
+	}
+	logSize := fi.Size()
+	if logSize < s.size {
+		// The log shrank below what we indexed: another process reset
+		// it (format bump) or rolled back. Drop everything and rescan
+		// from the header; stale locations must not survive.
+		s.index = make(map[Key]recordLoc)
+		s.size = headerSize
+		s.invalidations++
+		if logSize < headerSize {
+			return
+		}
+	}
+	off := s.size
+	var lenBuf [4]byte
+	for off < logSize {
+		if off+recordOverhead > logSize {
+			break
+		}
+		if _, err := s.f.ReadAt(lenBuf[:], off); err != nil {
+			s.readErrors++
+			return
+		}
+		n := int64(binary.LittleEndian.Uint32(lenBuf[:]))
+		if n > maxPayload || off+recordOverhead+n > logSize {
+			break
+		}
+		rec := make([]byte, 32+n+4)
+		if _, err := s.f.ReadAt(rec, off+4); err != nil {
+			s.readErrors++
+			return
+		}
+		sum := binary.LittleEndian.Uint32(rec[32+n:])
+		if crc32.Checksum(rec[:32+n], crcTable) != sum {
+			break
+		}
+		var k Key
+		copy(k[:], rec[:32])
+		s.index[k] = recordLoc{off: off + 36, n: int32(n)}
+		s.foreignRecords++
+		off += recordOverhead + n
+	}
+	if off < logSize && ex {
+		s.truncatedBytes += logSize - off
+		if err := s.f.Truncate(off); err != nil {
+			s.writeErrors++
+			return
+		}
+	}
+	s.size = off
+}
+
+// refreshTailLocked is the miss path's tail re-scan: under the shared
+// lock, pick up records appended by other replicas. No-op when not
+// shared.
+func (s *Store) refreshTailLocked() {
+	if !s.shared {
+		return
+	}
+	if err := lockShared(s.f); err != nil {
+		s.readErrors++
+		return
+	}
+	defer unlock(s.f)
+	s.tailRefreshes++
+	s.scanTailLocked(false)
+}
+
 // Has reports whether the store holds a record for k, counting a hit
 // or a miss — this is the probe the engine's warm-start metrics are
-// built on.
+// built on. In shared mode a miss first re-scans the log tail for
+// records appended by other replicas.
 func (s *Store) Has(k Key) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	_, ok := s.index[k]
+	if !ok && s.shared {
+		s.refreshTailLocked()
+		_, ok = s.index[k]
+	}
 	if ok {
 		s.hits++
 	} else {
@@ -306,6 +431,10 @@ func (s *Store) Get(k Key) (types.Summary, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	loc, ok := s.index[k]
+	if !ok && s.shared {
+		s.refreshTailLocked()
+		loc, ok = s.index[k]
+	}
 	if !ok {
 		s.misses++
 		return types.Summary{}, false
@@ -337,7 +466,11 @@ func (s *Store) Get(k Key) (types.Summary, bool) {
 // Put appends the summary for k unless a record for k already exists
 // (content addressing: identical keys imply identical values, so the
 // first write wins). A failed append rolls the log back to its
-// pre-record length so the on-disk prefix stays consistent.
+// pre-record length so the on-disk prefix stays consistent. In shared
+// mode the append happens under the exclusive flock, after
+// reconciling the tail other replicas appended — so concurrent
+// writers serialize at the verified EOF instead of clobbering each
+// other.
 func (s *Store) Put(k Key, sum types.Summary) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -348,6 +481,18 @@ func (s *Store) Put(k Key, sum types.Summary) {
 	if _, ok := s.index[k]; ok {
 		s.dupPuts++
 		return
+	}
+	if s.shared {
+		if err := lockExclusive(s.f); err != nil {
+			s.writeErrors++
+			return
+		}
+		defer unlock(s.f)
+		s.scanTailLocked(true)
+		if _, ok := s.index[k]; ok {
+			s.dupPuts++
+			return
+		}
 	}
 	payload := encodeSummary(sum)
 	if len(payload) > maxPayload {
@@ -490,5 +635,8 @@ func (s *Store) Stats() Stats {
 		Invalidations:    s.invalidations,
 		WriteErrors:      s.writeErrors,
 		ReadErrors:       s.readErrors,
+		Shared:           s.shared,
+		ForeignRecords:   s.foreignRecords,
+		TailRefreshes:    s.tailRefreshes,
 	}
 }

@@ -1,0 +1,34 @@
+// Deeply nested spans: an inner WaitGroup fan-out inside each task of
+// an outer WaitGroup fan-out — finish over loop async, again, one
+// level down. Exercises finish-in-async-in-finish with loops at both
+// levels.
+package main
+
+import "sync"
+
+func prep()  {}
+func work()  {}
+func flush() {}
+
+func main() {
+	var outer sync.WaitGroup
+	for b := 0; b < 3; b++ {
+		outer.Add(1)
+		go func() {
+			defer outer.Done()
+			prep()
+			var inner sync.WaitGroup
+			for i := 0; i < 2; i++ {
+				inner.Add(1)
+				go func() {
+					defer inner.Done()
+					work()
+				}()
+			}
+			inner.Wait()
+			flush()
+		}()
+	}
+	outer.Wait()
+	flush()
+}

@@ -1,0 +1,26 @@
+// errgroup with an early return: one task bails out mid-body. The
+// return only shortens that task's trace — the span is still a finish
+// (errgroup tracks the task regardless of how it exits), and the
+// analysis must keep the post-return statements inside the async.
+package main
+
+import "golang.org/x/sync/errgroup"
+
+func fetch()    {}
+func validate() {}
+
+func main() {
+	var g errgroup.Group
+	g.Go(func() {
+		fetch()
+		if true {
+			return
+		}
+		validate()
+	})
+	g.Go(func() {
+		validate()
+	})
+	g.Wait()
+	fetch()
+}

@@ -1,0 +1,28 @@
+// Channel fan-in: producers tracked by a WaitGroup feed one results
+// channel, drained after the join. The sends are dropped
+// conservatively (channel-send diagnostic); the spawn/join structure
+// still lowers to a finish over a loop async.
+package main
+
+import "sync"
+
+func produce() {}
+func consume() {}
+
+func main() {
+	results := make(chan int, 8)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			produce()
+			results <- 1
+		}()
+	}
+	wg.Wait()
+	close(results)
+	for range results {
+		consume()
+	}
+}

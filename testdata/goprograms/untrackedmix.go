@@ -1,0 +1,26 @@
+// Untracked-spawn mix: a detached goroutine before the span and
+// another inside the tracked task. The outer span's own goroutine is
+// fully tracked, but the nested bare go escapes the join — the front
+// end must stay conservative about it rather than fold it into the
+// finish.
+package main
+
+import "sync"
+
+func audit()  {}
+func serve()  {}
+func handle() {}
+
+func main() {
+	go audit()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		go audit()
+		serve()
+	}()
+	wg.Wait()
+	handle()
+}
